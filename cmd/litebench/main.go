@@ -1,0 +1,59 @@
+// Command litebench regenerates the tables and figures of the LITE
+// paper's evaluation (Tsai & Zhang, SOSP'17) on the simulated
+// substrate. Run with -list to enumerate experiments, with experiment
+// ids to run a subset, or with -all for everything.
+//
+// Usage:
+//
+//	litebench -list
+//	litebench fig4 fig6 fig10
+//	litebench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lite/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	all := flag.Bool("all", false, "run every experiment")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	ids := flag.Args()
+	if *all {
+		ids = nil
+		for _, e := range bench.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: litebench [-list|-all] [experiment ids...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := bench.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Print(tab.Format())
+		fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

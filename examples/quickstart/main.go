@@ -1,0 +1,110 @@
+// Quickstart: boot a three-node LITE cluster and exercise the core of
+// Table 1 — LT_malloc / LT_map / LT_write / LT_read, LT_RPC, a
+// distributed lock, and a barrier.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lite/internal/cluster"
+	"lite/internal/lite"
+	"lite/internal/params"
+	"lite/internal/simtime"
+)
+
+const echoFn = lite.FirstUserFunc
+
+func main() {
+	cfg := params.Default()
+	cls, err := cluster.New(&cfg, 3, 1<<30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := lite.Start(cls, lite.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An RPC echo server on node 2.
+	srv := dep.Instance(2)
+	if err := srv.RegisterRPC(echoFn); err != nil {
+		log.Fatal(err)
+	}
+	cls.GoDaemonOn(2, "echo-server", func(p *simtime.Proc) {
+		c := srv.KernelClient()
+		call, err := c.RecvRPC(p, echoFn)
+		for err == nil {
+			call, err = c.ReplyRecvRPC(p, call, append([]byte("echo: "), call.Input...), echoFn)
+		}
+	})
+
+	ready := false
+	var cond simtime.Cond
+
+	// Node 0: create a named LMR and write into it.
+	cls.GoOn(0, "producer", func(p *simtime.Proc) {
+		c := dep.Instance(0).KernelClient()
+		h, err := c.Malloc(p, 4096, "greeting", lite.PermRead|lite.PermWrite)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.Write(p, h, 0, []byte("hello from node 0")); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%8v] node0: wrote greeting into LMR %q\n", p.Now(), "greeting")
+		ready = true
+		cond.Broadcast(p.Env())
+		if err := c.Barrier(p, 1, 2); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	// Node 1: map the LMR by name, read it, call the RPC server, and
+	// use a lock.
+	cls.GoOn(1, "consumer", func(p *simtime.Proc) {
+		for !ready {
+			cond.Wait(p)
+		}
+		c := dep.Instance(1).KernelClient()
+		h, err := c.Map(p, "greeting")
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf := make([]byte, 17)
+		start := p.Now()
+		if err := c.Read(p, h, 0, buf); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%8v] node1: LT_read %q in %v\n", p.Now(), buf, p.Now()-start)
+
+		start = p.Now()
+		out, err := c.RPC(p, 2, echoFn, []byte("ping"), 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%8v] node1: LT_RPC reply %q in %v\n", p.Now(), out, p.Now()-start)
+
+		lk, err := c.AllocLock(p, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start = p.Now()
+		if err := c.LockAcquire(p, lk); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%8v] node1: acquired distributed lock in %v\n", p.Now(), p.Now()-start)
+		if err := c.LockRelease(p, lk); err != nil {
+			log.Fatal(err)
+		}
+		if err := c.Barrier(p, 1, 2); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%8v] node1: passed the 2-party barrier\n", p.Now())
+	})
+
+	if err := cls.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done; simulated time %v\n", cls.Env.Now())
+}

@@ -1,0 +1,71 @@
+// wordcount: run WordCount on LITE-MR (the paper's MapReduce port,
+// §8.2) over a synthetic Zipf corpus and compare against the
+// Hadoop-style baseline on the same input.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"lite/internal/apps/mapreduce"
+	"lite/internal/cluster"
+	"lite/internal/lite"
+	"lite/internal/params"
+	"lite/internal/workload"
+)
+
+func main() {
+	input := workload.NewCorpus(7, 5000).Generate(4 << 20)
+	workers := []int{1, 2, 3, 4}
+
+	// LITE-MR.
+	cfg := params.Default()
+	cls, err := cluster.New(&cfg, 5, 1<<30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := lite.Start(cls, lite.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mrCfg := mapreduce.DefaultConfig(0, workers, 2, 8)
+	res, err := mapreduce.RunLITE(cls, dep, mrCfg, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LITE-MR:  map %v, reduce %v, merge %v, total %v\n",
+		res.Map, res.Reduce, res.Merge, res.Total)
+
+	// Hadoop-style baseline on a fresh cluster.
+	hcfg := params.Default()
+	hcls, err := cluster.New(&hcfg, 5, 1<<30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hres, err := mapreduce.RunHadoop(hcls, mapreduce.DefaultHadoopConfig(0, workers, 2, 8), input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Hadoop:   map %v, reduce %v, merge %v, total %v\n",
+		hres.Map, hres.Reduce, hres.Merge, hres.Total)
+	fmt.Printf("speedup:  %.1fx\n\n", float64(hres.Total)/float64(res.Total))
+
+	// Results agree; print the top words.
+	type kv struct {
+		w string
+		c int64
+	}
+	var top []kv
+	for w, c := range res.Counts {
+		top = append(top, kv{w, c})
+		if hres.Counts[w] != c {
+			log.Fatalf("engines disagree on %q: %d vs %d", w, c, hres.Counts[w])
+		}
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].c > top[j].c })
+	fmt.Println("top words:")
+	for _, e := range top[:5] {
+		fmt.Printf("  %-12s %d\n", e.w, e.c)
+	}
+}

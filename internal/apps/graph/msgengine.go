@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"lite/internal/cluster"
+	"lite/internal/simtime"
+	"lite/internal/tcpip"
+	"lite/internal/workload"
+)
+
+// MsgEngineParams distinguish the TCP-based engines: PowerGraph-sim
+// exchanges rank updates in small messages (the fine-grained traffic
+// vertex-cut engines generate), while Grappa-sim aggregates into large
+// batches at the cost of added latency per exchange (its
+// latency-tolerant delegation/aggregation design).
+type MsgEngineParams struct {
+	// BatchBytes is the message size the engine packs updates into.
+	BatchBytes int
+	// AggregationDelay is the per-exchange latency added by buffering
+	// updates for aggregation (zero for PowerGraph).
+	AggregationDelay simtime.Time
+}
+
+// PowerGraphParams returns the fine-grained messaging profile:
+// vertex-cut engines exchange per-vertex gather/scatter messages, so
+// even with batching the wire unit stays small.
+func PowerGraphParams() MsgEngineParams {
+	return MsgEngineParams{BatchBytes: 2 << 10}
+}
+
+// GrappaParams returns the aggregating profile.
+func GrappaParams() MsgEngineParams {
+	return MsgEngineParams{BatchBytes: 64 << 10, AggregationDelay: 100 * 1000}
+}
+
+const graphPortBase = 9500
+
+// RunMsgEngine executes PageRank with the same kernels as LITE-Graph
+// but exchanging contribution vectors over the TCP/IP (IPoIB) stack in
+// engine-specific batches. The all-to-all exchange doubles as the
+// inter-iteration barrier.
+func RunMsgEngine(cls *cluster.Cluster, cfg Config, prm MsgEngineParams, g *workload.Graph) (*Result, error) {
+	n := g.NumVertices
+	gt := g.Transpose()
+	nodes := cfg.Nodes
+	res := &Result{Ranks: make([]float64, n)}
+	errs := make([]error, len(nodes))
+
+	// Connection mesh: node i listens on graphPortBase+i; every node
+	// dials every higher-numbered node.
+	conns := make([][]*meshConn, len(nodes))
+	for i := range conns {
+		conns[i] = make([]*meshConn, len(nodes))
+	}
+	listeners := make([]*tcpip.Listener, len(nodes))
+	for idx, node := range nodes {
+		l, err := cls.Net.Stack(node).Listen(graphPortBase + idx)
+		if err != nil {
+			return nil, err
+		}
+		listeners[idx] = l
+	}
+
+	for idx, node := range nodes {
+		idx, node := idx, node
+		cls.GoOn(node, "msggraph", func(p *simtime.Proc) {
+			errs[idx] = msgEngineNode(p, cls, &cfg, prm, g, gt, idx, node, listeners, conns, res)
+		})
+	}
+	start := cls.Env.Now()
+	if err := cls.Run(); err != nil {
+		return nil, err
+	}
+	res.Time = cls.Env.Now() - start
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// meshConn wraps a TCP connection with an inbox so a node can receive
+// from all peers through dedicated reader threads.
+type meshConn struct {
+	inbox *simtime.Chan[[]byte]
+}
+
+func msgEngineNode(p *simtime.Proc, cls *cluster.Cluster, cfg *Config, prm MsgEngineParams, g, gt *workload.Graph, idx, node int, listeners []*tcpip.Listener, conns [][]*meshConn, res *Result) error {
+	nodes := cfg.Nodes
+	n := g.NumVertices
+	lo, hi := ownedRange(n, len(nodes), idx)
+
+	// Build the mesh: dial higher indices, accept lower ones.
+	meshConns := make([]*tcpip.Conn, len(nodes))
+	for j := idx + 1; j < len(nodes); j++ {
+		conn, err := cls.Net.Stack(node).Dial(p, nodes[j], graphPortBase+j)
+		if err != nil {
+			return err
+		}
+		meshConns[j] = conn
+	}
+	for j := 0; j < idx; j++ {
+		conn, err := listeners[idx].Accept(p)
+		if err != nil {
+			return err
+		}
+		peer := -1
+		for k, nd := range nodes {
+			if nd == conn.RemoteNode() {
+				peer = k
+			}
+		}
+		if peer < 0 {
+			continue
+		}
+		meshConns[peer] = conn
+	}
+	_ = conns
+
+	ranks := make([]float64, n)
+	contrib := make([]float64, n)
+	for v := lo; v < hi; v++ {
+		ranks[v] = 1.0 / float64(n)
+	}
+	base := (1 - cfg.Damping) / float64(n)
+	var buf []byte
+
+	for it := 0; it < cfg.Iterations; it++ {
+		contribFor(g, ranks, lo, hi, contrib)
+		buf = floatsToBytes(contrib[lo:hi], buf)
+		if prm.AggregationDelay > 0 {
+			p.Sleep(prm.AggregationDelay)
+		}
+		// One comm thread sends this node's contributions to every peer
+		// in batches; the node's main thread pays the receive-side
+		// processing for every inbound batch (PowerGraph's fine-grained
+		// messages compete with computation for the CPU).
+		var swg simtime.WaitGroup
+		swg.Add(1)
+		cls.GoOn(node, "msggraph-send", func(q *simtime.Proc) {
+			defer swg.Done(q.Env())
+			for j := range nodes {
+				if j == idx || len(buf) == 0 {
+					continue
+				}
+				for off := 0; off < len(buf); off += prm.BatchBytes {
+					end := off + prm.BatchBytes
+					if end > len(buf) {
+						end = len(buf)
+					}
+					if err := meshConns[j].Send(q, buf[off:end]); err != nil {
+						return
+					}
+				}
+			}
+		})
+		// Receive every peer's contributions.
+		for j := range nodes {
+			if j == idx {
+				continue
+			}
+			jlo, jhi := ownedRange(n, len(nodes), j)
+			want := (jhi - jlo) * 8
+			got := 0
+			tmp := make([]byte, 0, want)
+			for got < want {
+				b, err := meshConns[j].Recv(p)
+				if err != nil {
+					return err
+				}
+				tmp = append(tmp, b...)
+				got += len(b)
+			}
+			bytesToFloats(tmp, contrib[jlo:jhi])
+		}
+		swg.Wait(p)
+
+		// Compute on the node's threads.
+		next := make([]float64, n)
+		threads := cfg.ThreadsPerNode
+		var wg simtime.WaitGroup
+		wg.Add(threads)
+		for th := 0; th < threads; th++ {
+			tlo, thi := ownedRange(hi-lo, threads, th)
+			tlo, thi = tlo+lo, thi+lo
+			cls.GoOn(node, "msggraph-compute", func(q *simtime.Proc) {
+				defer wg.Done(q.Env())
+				computeRange(q, cfg, gt, contrib, tlo, thi, base, next)
+			})
+		}
+		wg.Wait(p)
+		copy(ranks[lo:hi], next[lo:hi])
+	}
+	copy(res.Ranks[lo:hi], ranks[lo:hi])
+	return nil
+}

@@ -1,0 +1,205 @@
+// Package litelog implements LITE-Log, the paper's distributed atomic
+// logging system (§8.1). The design pushes "one-sided" to the extreme:
+// the global log is created, appended to, and cleaned entirely with
+// one-sided LITE operations — LT_malloc for the log and its metadata,
+// LT_fetch-add to reserve space and advance pointers, LT_write to
+// commit transaction data, and LT_read to scan.
+package litelog
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"lite/internal/lite"
+	"lite/internal/simtime"
+)
+
+// Errors returned by the log.
+var (
+	ErrLogFull  = errors.New("litelog: log full; run the cleaner")
+	ErrTooLarge = errors.New("litelog: transaction exceeds log capacity")
+)
+
+// Meta layout: [0:8] tail (reserve pointer), [8:16] head (clean pointer).
+const (
+	metaTail = 0
+	metaHead = 8
+	metaSize = 64
+)
+
+// txnHdr: [8B flags|length]. Bit 63 marks the record committed.
+const txnHdrSize = 8
+const committedBit = uint64(1) << 63
+
+// Log is one participant's handle on a shared global log.
+type Log struct {
+	c    *lite.Client
+	data lite.LH
+	meta lite.LH
+	size int64
+}
+
+// Create allocates a new global log of the given capacity at home and
+// publishes it under name. The creator is the master of both LMRs.
+func Create(p *simtime.Proc, c *lite.Client, home int, size int64, name string) (*Log, error) {
+	data, err := c.MallocAt(p, []int{home}, size, name, lite.PermRead|lite.PermWrite)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := c.MallocAt(p, []int{home}, metaSize, name+".meta", lite.PermRead|lite.PermWrite)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Memset(p, meta, 0, 0, metaSize); err != nil {
+		return nil, err
+	}
+	return &Log{c: c, data: data, meta: meta, size: size}, nil
+}
+
+// Open maps an existing global log by name; the opener can be on any
+// node — all access is remote and one-sided.
+func Open(p *simtime.Proc, c *lite.Client, name string, size int64) (*Log, error) {
+	data, err := c.Map(p, name)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := c.Map(p, name+".meta")
+	if err != nil {
+		return nil, err
+	}
+	return &Log{c: c, data: data, meta: meta, size: size}, nil
+}
+
+// Append atomically commits one transaction containing the given
+// entries: one LT_fetch-add reserves log space, one LT_write lands the
+// payload, and a final 8-byte LT_write of the header publishes the
+// record (readers treat records without the committed bit as absent).
+func (l *Log) Append(p *simtime.Proc, entries [][]byte) (int64, error) {
+	var payloadLen int64
+	for _, e := range entries {
+		payloadLen += 4 + int64(len(e))
+	}
+	total := (txnHdrSize + payloadLen + 7) &^ 7
+	if total > l.size {
+		return 0, ErrTooLarge
+	}
+	// Reserve space with one remote atomic.
+	off, err := l.c.FetchAdd(p, l.meta, metaTail, uint64(total))
+	if err != nil {
+		return 0, err
+	}
+	// Check against the cleaner's progress (best effort: the reserve
+	// is unconditional, so an overfull log is reported to the caller).
+	var headBuf [8]byte
+	if err := l.c.Read(p, l.meta, metaHead, headBuf[:]); err != nil {
+		return 0, err
+	}
+	head := binary.LittleEndian.Uint64(headBuf[:])
+	if int64(off)+total-int64(head) > l.size {
+		return 0, ErrLogFull
+	}
+	// Serialize entries: [4B len][bytes]...
+	payload := make([]byte, payloadLen)
+	cursor := 0
+	for _, e := range entries {
+		binary.LittleEndian.PutUint32(payload[cursor:], uint32(len(e)))
+		copy(payload[cursor+4:], e)
+		cursor += 4 + len(e)
+	}
+	pos := int64(off) % l.size
+	if pos+total > l.size {
+		// Wrapped reservation: commit at the start instead; the skipped
+		// tail bytes stay uncommitted and scanners skip them.
+		pos = 0
+	}
+	if err := l.c.Write(p, l.data, pos+txnHdrSize, payload); err != nil {
+		return 0, err
+	}
+	// Publish: the 8-byte header write is the commit point.
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], committedBit|uint64(total))
+	if err := l.c.Write(p, l.data, pos, hdr[:]); err != nil {
+		return 0, err
+	}
+	return int64(off), nil
+}
+
+// Scan reads committed transactions in [from, to) (log offsets as
+// returned by Append / read from the tail pointer), invoking fn for
+// each entry. It is used by the log cleaner and by recovery.
+func (l *Log) Scan(p *simtime.Proc, from, to int64, fn func(entry []byte)) error {
+	for off := from; off < to; {
+		pos := off % l.size
+		var hdr [8]byte
+		if err := l.c.Read(p, l.data, pos, hdr[:]); err != nil {
+			return err
+		}
+		h := binary.LittleEndian.Uint64(hdr[:])
+		total := int64(h &^ committedBit)
+		if h&committedBit == 0 || total <= 0 || total > l.size {
+			// Uncommitted or wrap padding: stop the scan here.
+			return nil
+		}
+		payload := make([]byte, total-txnHdrSize)
+		if err := l.c.Read(p, l.data, pos+txnHdrSize, payload); err != nil {
+			return err
+		}
+		cursor := int64(0)
+		for cursor+4 <= int64(len(payload)) {
+			n := int64(binary.LittleEndian.Uint32(payload[cursor:]))
+			if n == 0 || cursor+4+n > int64(len(payload)) {
+				break
+			}
+			fn(payload[cursor+4 : cursor+4+n])
+			cursor += 4 + n
+		}
+		off += total
+	}
+	return nil
+}
+
+// Tail returns the current reserve pointer.
+func (l *Log) Tail(p *simtime.Proc) (int64, error) {
+	v, err := l.c.FetchAdd(p, l.meta, metaTail, 0)
+	return int64(v), err
+}
+
+// Head returns the cleaner's progress pointer.
+func (l *Log) Head(p *simtime.Proc) (int64, error) {
+	v, err := l.c.FetchAdd(p, l.meta, metaHead, 0)
+	return int64(v), err
+}
+
+// Clean advances the head pointer past fully consumed records,
+// releasing their space. Like everything else it runs remotely with
+// one-sided operations (LT_read to validate, LT_fetch-add to advance,
+// and LT_write to scrub headers so space cannot be re-read).
+func (l *Log) Clean(p *simtime.Proc, upTo int64) error {
+	head, err := l.Head(p)
+	if err != nil {
+		return err
+	}
+	if upTo <= head {
+		return nil
+	}
+	// Scrub the headers of the cleaned region.
+	var zero [8]byte
+	for off := head; off < upTo; {
+		pos := off % l.size
+		var hdr [8]byte
+		if err := l.c.Read(p, l.data, pos, hdr[:]); err != nil {
+			return err
+		}
+		h := binary.LittleEndian.Uint64(hdr[:])
+		total := int64(h &^ committedBit)
+		if h&committedBit == 0 || total <= 0 {
+			break
+		}
+		if err := l.c.Write(p, l.data, pos, zero[:]); err != nil {
+			return err
+		}
+		off += total
+	}
+	_, err = l.c.FetchAdd(p, l.meta, metaHead, uint64(upTo-head))
+	return err
+}

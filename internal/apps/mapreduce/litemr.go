@@ -1,0 +1,362 @@
+package mapreduce
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"lite/internal/cluster"
+	"lite/internal/lite"
+	"lite/internal/simtime"
+)
+
+// mrFn is the RPC function id LITE-MR workers serve.
+const mrFn = lite.FirstUserFunc + 4
+
+var liteMRRun int // distinguishes LMR names across runs
+
+// taskMsg is a worker assignment (JSON over LT_RPC, as the paper's
+// LITE-MR exchanges control messages with LT_RPC and bulk data with
+// LT_read).
+type taskMsg struct {
+	Kind      string     // "map", "reduce", "merge", "quit"
+	RunID     int        // LMR name namespace
+	InputName string     // map: input LMR name
+	Chunks    [][2]int64 // map: chunk (offset, length) pairs
+	WorkerIdx int        // map: this worker's index for output naming
+	Workers   int        // total workers (reduce reads all their outputs)
+	Reducers  []int      // reduce: reducer ids assigned to this worker
+	Merges    [][3]string
+}
+
+type taskReply struct {
+	Names []string
+}
+
+// RunLITE executes WordCount on LITE-MR and returns the result with
+// its phase breakdown. It spawns its own processes and runs the
+// cluster simulation to completion.
+func RunLITE(cls *cluster.Cluster, dep *lite.Deployment, cfg Config, input []byte) (*Result, error) {
+	liteMRRun++
+	runID := liteMRRun
+	res := &Result{Counts: make(map[string]int64)}
+	var runErr error
+
+	// Worker servers.
+	for _, w := range cfg.Workers {
+		w := w
+		inst := dep.Instance(w)
+		if err := inst.RegisterRPC(mrFn); err != nil {
+			// Already registered by a previous run on this cluster.
+			_ = err
+		}
+		cls.GoDaemonOn(w, "mr-worker", func(p *simtime.Proc) {
+			liteWorkerLoop(p, cls, dep, &cfg, w)
+		})
+	}
+
+	cls.GoOn(cfg.Master, "mr-master", func(p *simtime.Proc) {
+		runErr = liteMaster(p, cls, dep, &cfg, runID, input, res)
+	})
+	start := cls.Env.Now()
+	if err := cls.Run(); err != nil {
+		return nil, err
+	}
+	res.Total = cls.Env.Now() - start
+	return res, runErr
+}
+
+func liteMaster(p *simtime.Proc, cls *cluster.Cluster, dep *lite.Deployment, cfg *Config, runID int, input []byte, res *Result) error {
+	c := dep.Instance(cfg.Master).KernelClient()
+	inputName := fmt.Sprintf("mr%d-input", runID)
+	in, err := c.Malloc(p, int64(len(input)), inputName, lite.PermRead)
+	if err != nil {
+		return err
+	}
+	if err := c.Write(p, in, 0, input); err != nil {
+		return err
+	}
+	chunks := splitChunks(input, cfg.ChunkSize)
+
+	// ---- map phase ----
+	t0 := p.Now()
+	perWorker := make([][][2]int64, len(cfg.Workers))
+	for i, ch := range chunks {
+		w := i % len(cfg.Workers)
+		perWorker[w] = append(perWorker[w], ch)
+	}
+	replies, err := broadcastTasks(p, cls, dep, cfg, func(wi int) taskMsg {
+		return taskMsg{
+			Kind: "map", RunID: runID, InputName: inputName,
+			Chunks: perWorker[wi], WorkerIdx: wi, Workers: len(cfg.Workers),
+		}
+	})
+	if err != nil {
+		return err
+	}
+	_ = replies
+	res.Map = p.Now() - t0
+
+	// ---- reduce phase ----
+	t0 = p.Now()
+	perRed := make([][]int, len(cfg.Workers))
+	for r := 0; r < cfg.Reducers; r++ {
+		w := r % len(cfg.Workers)
+		perRed[w] = append(perRed[w], r)
+	}
+	replies, err = broadcastTasks(p, cls, dep, cfg, func(wi int) taskMsg {
+		return taskMsg{Kind: "reduce", RunID: runID, Reducers: perRed[wi], Workers: len(cfg.Workers)}
+	})
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, r := range replies {
+		names = append(names, r.Names...)
+	}
+	res.Reduce = p.Now() - t0
+
+	// ---- merge phase: rounds of 2-way merges ----
+	t0 = p.Now()
+	round := 0
+	for len(names) > 1 {
+		var merges [][3]string
+		var next []string
+		for k := 0; k+1 < len(names); k += 2 {
+			out := fmt.Sprintf("mr%d-mg-%d-%d", runID, round, k/2)
+			merges = append(merges, [3]string{names[k], names[k+1], out})
+			next = append(next, out)
+		}
+		if len(names)%2 == 1 {
+			next = append(next, names[len(names)-1])
+		}
+		perMerge := make([][][3]string, len(cfg.Workers))
+		for i, m := range merges {
+			perMerge[i%len(cfg.Workers)] = append(perMerge[i%len(cfg.Workers)], m)
+		}
+		if _, err := broadcastTasks(p, cls, dep, cfg, func(wi int) taskMsg {
+			return taskMsg{Kind: "merge", RunID: runID, Merges: perMerge[wi]}
+		}); err != nil {
+			return err
+		}
+		names = next
+		round++
+	}
+	res.Merge = p.Now() - t0
+
+	// Read the final result.
+	final, err := c.Map(p, names[0])
+	if err != nil {
+		return err
+	}
+	sz := lmrSize(dep, names[0])
+	buf := make([]byte, sz)
+	if err := c.Read(p, final, 0, buf); err != nil {
+		return err
+	}
+	parseCounts(buf, res.Counts)
+	return nil
+}
+
+// broadcastTasks sends one task message to every worker in parallel
+// and collects the replies.
+func broadcastTasks(p *simtime.Proc, cls *cluster.Cluster, dep *lite.Deployment, cfg *Config, mk func(wi int) taskMsg) ([]taskReply, error) {
+	replies := make([]taskReply, len(cfg.Workers))
+	errs := make([]error, len(cfg.Workers))
+	var wg simtime.WaitGroup
+	wg.Add(len(cfg.Workers))
+	for wi, w := range cfg.Workers {
+		wi, w := wi, w
+		cls.GoOn(cfg.Master, "mr-dispatch", func(q *simtime.Proc) {
+			defer wg.Done(q.Env())
+			c := dep.Instance(cfg.Master).KernelClient()
+			msg, _ := json.Marshal(mk(wi))
+			out, err := c.RPCT(q, w, mrFn, msg, 1<<20, 0)
+			if err != nil {
+				errs[wi] = err
+				return
+			}
+			errs[wi] = json.Unmarshal(out, &replies[wi])
+		})
+	}
+	wg.Wait(p)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return replies, nil
+}
+
+// lmrSize looks up an LMR's size by name via the deployment directory
+// (stand-in for an out-of-band size exchange).
+func lmrSize(dep *lite.Deployment, name string) int64 {
+	return dep.LMRSizeByName(name)
+}
+
+// liteWorkerLoop serves LITE-MR task RPCs on one worker node.
+func liteWorkerLoop(p *simtime.Proc, cls *cluster.Cluster, dep *lite.Deployment, cfg *Config, node int) {
+	c := dep.Instance(node).KernelClient()
+	for {
+		call, err := c.RecvRPC(p, mrFn)
+		if err != nil {
+			return
+		}
+		var t taskMsg
+		if err := json.Unmarshal(call.Input, &t); err != nil {
+			_ = c.ReplyRPC(p, call, nil)
+			continue
+		}
+		var reply taskReply
+		switch t.Kind {
+		case "map":
+			reply.Names = liteMapPhase(p, cls, dep, cfg, node, &t)
+		case "reduce":
+			reply.Names = liteReducePhase(p, cls, dep, cfg, node, &t)
+		case "merge":
+			for _, m := range t.Merges {
+				liteMerge(p, dep, cfg, node, m[0], m[1], m[2])
+				reply.Names = append(reply.Names, m[2])
+			}
+		}
+		out, _ := json.Marshal(reply)
+		_ = c.ReplyRPC(p, call, out)
+	}
+}
+
+// liteMapPhase runs this worker's map tasks on ThreadsPerWorker
+// threads, combines per-reducer output, and publishes one LMR per
+// reducer.
+func liteMapPhase(p *simtime.Proc, cls *cluster.Cluster, dep *lite.Deployment, cfg *Config, node int, t *taskMsg) []string {
+	c := dep.Instance(node).KernelClient()
+	in, err := c.Map(p, t.InputName)
+	if err != nil {
+		return nil
+	}
+	// Per-thread per-reducer maps; threads pull chunks from a shared
+	// cursor.
+	threads := cfg.ThreadsPerWorker
+	perThread := make([][]map[string]int64, threads)
+	cursor := 0
+	var wg simtime.WaitGroup
+	wg.Add(threads)
+	for th := 0; th < threads; th++ {
+		th := th
+		perThread[th] = make([]map[string]int64, cfg.Reducers)
+		for r := range perThread[th] {
+			perThread[th][r] = make(map[string]int64)
+		}
+		cls.GoOn(node, "mr-map", func(q *simtime.Proc) {
+			defer wg.Done(q.Env())
+			tc := dep.Instance(node).KernelClient()
+			for {
+				if cursor >= len(t.Chunks) {
+					return
+				}
+				ch := t.Chunks[cursor]
+				cursor++
+				buf := make([]byte, ch[1])
+				if err := tc.Read(q, in, ch[0], buf); err != nil {
+					return
+				}
+				mapChunk(q, cfg, buf, perThread[th])
+			}
+		})
+	}
+	wg.Wait(p)
+	// Combine thread-local results into node-level finalized buffers
+	// (the paper: a worker combines intermediate results after
+	// completing all its map tasks).
+	names := make([]string, 0, cfg.Reducers)
+	for r := 0; r < cfg.Reducers; r++ {
+		m := make(map[string]int64)
+		for th := 0; th < threads; th++ {
+			for w, cnt := range perThread[th][r] {
+				m[w] += cnt
+			}
+		}
+		buf := serializeCounts(m)
+		p.Work(cfg.MergePerKB * simtime.Time(len(buf)) / 1024)
+		name := fmt.Sprintf("mr%d-mo-%d-%d", t.RunID, t.WorkerIdx, r)
+		h, err := c.Malloc(p, int64(len(buf))+1, name, lite.PermRead)
+		if err != nil {
+			return nil
+		}
+		_ = c.Write(p, h, 0, buf)
+		names = append(names, name)
+	}
+	return names
+}
+
+// liteReducePhase pulls every worker's finalized buffer for this
+// worker's reducers with one-sided LT_reads and merges them.
+func liteReducePhase(p *simtime.Proc, cls *cluster.Cluster, dep *lite.Deployment, cfg *Config, node int, t *taskMsg) []string {
+	threads := cfg.ThreadsPerWorker
+	var wg simtime.WaitGroup
+	names := make([]string, len(t.Reducers))
+	cursor := 0
+	wg.Add(threads)
+	for th := 0; th < threads; th++ {
+		cls.GoOn(node, "mr-reduce", func(q *simtime.Proc) {
+			defer wg.Done(q.Env())
+			tc := dep.Instance(node).KernelClient()
+			for {
+				if cursor >= len(t.Reducers) {
+					return
+				}
+				idx := cursor
+				cursor++
+				r := t.Reducers[idx]
+				m := make(map[string]int64)
+				for w := 0; w < t.Workers; w++ {
+					name := fmt.Sprintf("mr%d-mo-%d-%d", t.RunID, w, r)
+					h, err := tc.Map(q, name)
+					if err != nil {
+						continue
+					}
+					sz := lmrSize(dep, name)
+					buf := make([]byte, sz)
+					if err := tc.Read(q, h, 0, buf); err != nil {
+						continue
+					}
+					q.Work(cfg.MergePerKB * simtime.Time(len(buf)) / 1024)
+					parseCounts(buf, m)
+					_ = tc.Unmap(q, h)
+				}
+				buf := serializeCounts(m)
+				name := fmt.Sprintf("mr%d-ro-%d", t.RunID, r)
+				h, err := tc.Malloc(q, int64(len(buf))+1, name, lite.PermRead)
+				if err != nil {
+					return
+				}
+				_ = tc.Write(q, h, 0, buf)
+				names[idx] = name
+			}
+		})
+	}
+	wg.Wait(p)
+	return names
+}
+
+// liteMerge two-way merges two named buffers into a new named buffer,
+// reading both with LT_read.
+func liteMerge(p *simtime.Proc, dep *lite.Deployment, cfg *Config, node int, a, b, out string) {
+	c := dep.Instance(node).KernelClient()
+	read := func(name string) []byte {
+		h, err := c.Map(p, name)
+		if err != nil {
+			return nil
+		}
+		buf := make([]byte, lmrSize(dep, name))
+		if err := c.Read(p, h, 0, buf); err != nil {
+			return nil
+		}
+		_ = c.Unmap(p, h)
+		return buf
+	}
+	merged := mergeSorted(p, cfg, read(a), read(b))
+	h, err := c.Malloc(p, int64(len(merged))+1, out, lite.PermRead)
+	if err != nil {
+		return
+	}
+	_ = c.Write(p, h, 0, merged)
+}

@@ -1,0 +1,194 @@
+// Package mapreduce implements the paper's MapReduce comparison
+// (§8.2, Figure 18): LITE-MR, a distributed WordCount ported from the
+// single-node Phoenix design whose network phase uses LT_read and
+// LT_RPC; a Phoenix-style single-node baseline; and a Hadoop-style
+// baseline that ships data over the TCP/IP (IPoIB) stack with
+// disk-materialized intermediate output and per-task scheduling
+// overheads.
+//
+// All three share the same computational kernels and cost model, so
+// the performance differences come from data movement and
+// coordination, as in the paper.
+package mapreduce
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+
+	"lite/internal/simtime"
+)
+
+// Config controls a WordCount run.
+type Config struct {
+	// Master is the coordinating node.
+	Master int
+	// Workers lists the worker nodes (may include the master).
+	Workers []int
+	// ThreadsPerWorker is the number of map/reduce threads per worker.
+	ThreadsPerWorker int
+	// Reducers is the number of reduce partitions.
+	Reducers int
+	// ChunkSize is the map-task input split size.
+	ChunkSize int64
+
+	// Cost model (virtual time charged per unit of computation).
+
+	// MapPerKB is the tokenize+count cost per KB of input.
+	MapPerKB simtime.Time
+	// EmitCost is the per-word cost of inserting into the worker's
+	// intermediate index. Phoenix's global tree index pays
+	// GlobalIndexExtra on top (the contention the paper's port removed
+	// by splitting the index per node).
+	EmitCost simtime.Time
+	// GlobalIndexExtra is Phoenix's additional per-emit cost.
+	GlobalIndexExtra simtime.Time
+	// MergePerKB is the cost of merging sorted runs, per KB merged.
+	MergePerKB simtime.Time
+}
+
+// DefaultConfig returns the standard cost model with the given
+// topology.
+func DefaultConfig(master int, workers []int, threads, reducers int) Config {
+	return Config{
+		Master:           master,
+		Workers:          workers,
+		ThreadsPerWorker: threads,
+		Reducers:         reducers,
+		ChunkSize:        1 << 20,
+		MapPerKB:         2500 * time.Nanosecond, // ~400 MB/s tokenizer
+		EmitCost:         60 * time.Nanosecond,
+		GlobalIndexExtra: 90 * time.Nanosecond,
+		MergePerKB:       800 * time.Nanosecond, // ~1.3 GB/s merge
+	}
+}
+
+// Result reports a run's output and phase breakdown.
+type Result struct {
+	Counts map[string]int64
+	Map    simtime.Time
+	Reduce simtime.Time
+	Merge  simtime.Time
+	Total  simtime.Time
+}
+
+// ---- shared computational kernels ----
+
+// splitChunks cuts input into word-aligned chunks of roughly
+// chunkSize bytes and returns (offset, length) pairs.
+func splitChunks(input []byte, chunkSize int64) [][2]int64 {
+	var out [][2]int64
+	var off int64
+	n := int64(len(input))
+	for off < n {
+		end := off + chunkSize
+		if end >= n {
+			end = n
+		} else {
+			for end < n && input[end] != ' ' {
+				end++
+			}
+		}
+		out = append(out, [2]int64{off, end - off})
+		off = end
+	}
+	return out
+}
+
+// fnv1a hashes a word for reducer partitioning.
+func fnv1a(w []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range w {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return h
+}
+
+// mapChunk tokenizes chunk and counts words into per-reducer maps,
+// charging the map cost model.
+func mapChunk(p *simtime.Proc, cfg *Config, chunk []byte, into []map[string]int64) {
+	p.Work(cfg.MapPerKB * simtime.Time(len(chunk)) / 1024)
+	start := -1
+	emits := 0
+	for i := 0; i <= len(chunk); i++ {
+		if i < len(chunk) && chunk[i] != ' ' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			w := chunk[start:i]
+			r := int(fnv1a(w)) % len(into)
+			if r < 0 {
+				r += len(into)
+			}
+			into[r][string(w)]++
+			emits++
+			start = -1
+		}
+	}
+	p.Work(cfg.EmitCost * simtime.Time(emits))
+}
+
+// kv is a sorted word-count pair.
+type kv struct {
+	word  string
+	count int64
+}
+
+// serializeCounts emits a sorted [4B n]{[2B wlen][word][8B count]}
+// buffer.
+func serializeCounts(m map[string]int64) []byte {
+	kvs := make([]kv, 0, len(m))
+	size := 4
+	for w, c := range m {
+		kvs = append(kvs, kv{w, c})
+		size += 2 + len(w) + 8
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].word < kvs[j].word })
+	out := make([]byte, size)
+	binary.LittleEndian.PutUint32(out, uint32(len(kvs)))
+	cur := 4
+	for _, e := range kvs {
+		binary.LittleEndian.PutUint16(out[cur:], uint16(len(e.word)))
+		copy(out[cur+2:], e.word)
+		binary.LittleEndian.PutUint64(out[cur+2+len(e.word):], uint64(e.count))
+		cur += 2 + len(e.word) + 8
+	}
+	return out
+}
+
+// parseCounts decodes a serializeCounts buffer into the map, adding to
+// existing entries.
+func parseCounts(buf []byte, into map[string]int64) {
+	if len(buf) < 4 {
+		return
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	cur := 4
+	for k := uint32(0); k < n; k++ {
+		if cur+2 > len(buf) {
+			return
+		}
+		wl := int(binary.LittleEndian.Uint16(buf[cur:]))
+		if cur+2+wl+8 > len(buf) {
+			return
+		}
+		w := string(buf[cur+2 : cur+2+wl])
+		c := int64(binary.LittleEndian.Uint64(buf[cur+2+wl:]))
+		into[w] += c
+		cur += 2 + wl + 8
+	}
+}
+
+// mergeSorted merges two serializeCounts buffers (sorted by word) into
+// one, charging the merge cost model.
+func mergeSorted(p *simtime.Proc, cfg *Config, a, b []byte) []byte {
+	p.Work(cfg.MergePerKB * simtime.Time(len(a)+len(b)) / 1024)
+	m := make(map[string]int64)
+	parseCounts(a, m)
+	parseCounts(b, m)
+	return serializeCounts(m)
+}

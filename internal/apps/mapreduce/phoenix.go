@@ -1,0 +1,127 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"lite/internal/cluster"
+	"lite/internal/simtime"
+)
+
+// RunPhoenix executes WordCount on a Phoenix-style single-node
+// multithreaded MapReduce (Ranger et al. [65]): all data in shared
+// memory, a global tree-structured intermediate index (whose per-emit
+// cost exceeds LITE-MR's per-node split index — the one change the
+// paper made when porting), and the same merge structure.
+func RunPhoenix(cls *cluster.Cluster, cfg Config, node int, input []byte) (*Result, error) {
+	res := &Result{Counts: make(map[string]int64)}
+	threads := cfg.ThreadsPerWorker * len(cfg.Workers) // same total threads
+	chunks := splitChunks(input, cfg.ChunkSize)
+
+	cls.GoOn(node, "phoenix-master", func(p *simtime.Proc) {
+		// ---- map phase: threads pull chunks from shared memory ----
+		t0 := p.Now()
+		perThread := make([][]map[string]int64, threads)
+		cursor := 0
+		var wg simtime.WaitGroup
+		wg.Add(threads)
+		for th := 0; th < threads; th++ {
+			th := th
+			perThread[th] = make([]map[string]int64, cfg.Reducers)
+			for r := range perThread[th] {
+				perThread[th][r] = make(map[string]int64)
+			}
+			cls.GoOn(node, fmt.Sprintf("phx-map%d", th), func(q *simtime.Proc) {
+				defer wg.Done(q.Env())
+				// The global tree index adds contention cost per emit.
+				mapCfg := *cfg.asPhoenix()
+				for {
+					if cursor >= len(chunks) {
+						return
+					}
+					ch := chunks[cursor]
+					cursor++
+					mapChunk(q, &mapCfg, input[ch[0]:ch[0]+ch[1]], perThread[th])
+				}
+			})
+		}
+		wg.Wait(p)
+		res.Map = p.Now() - t0
+
+		// ---- reduce phase: threads merge reducer partitions ----
+		t0 = p.Now()
+		reduced := make([][]byte, cfg.Reducers)
+		rc := 0
+		var rwg simtime.WaitGroup
+		rwg.Add(threads)
+		for th := 0; th < threads; th++ {
+			cls.GoOn(node, "phx-reduce", func(q *simtime.Proc) {
+				defer rwg.Done(q.Env())
+				for {
+					if rc >= cfg.Reducers {
+						return
+					}
+					r := rc
+					rc++
+					m := make(map[string]int64)
+					var bytesIn int
+					for th2 := 0; th2 < threads; th2++ {
+						for w, c := range perThread[th2][r] {
+							m[w] += c
+							bytesIn += len(w) + 10
+						}
+					}
+					q.Work(cfg.MergePerKB * simtime.Time(bytesIn) / 1024)
+					reduced[r] = serializeCounts(m)
+				}
+			})
+		}
+		rwg.Wait(p)
+		res.Reduce = p.Now() - t0
+
+		// ---- merge phase: local 2-way merge rounds ----
+		t0 = p.Now()
+		bufs := reduced
+		for len(bufs) > 1 {
+			var next [][]byte
+			mc := 0
+			var mwg simtime.WaitGroup
+			pairs := len(bufs) / 2
+			next = make([][]byte, (len(bufs)+1)/2)
+			mwg.Add(threads)
+			for th := 0; th < threads; th++ {
+				cls.GoOn(node, "phx-merge", func(q *simtime.Proc) {
+					defer mwg.Done(q.Env())
+					for {
+						if mc >= pairs {
+							return
+						}
+						k := mc
+						mc++
+						next[k] = mergeSorted(q, &cfg, bufs[2*k], bufs[2*k+1])
+					}
+				})
+			}
+			mwg.Wait(p)
+			if len(bufs)%2 == 1 {
+				next[len(next)-1] = bufs[len(bufs)-1]
+			}
+			bufs = next
+		}
+		res.Merge = p.Now() - t0
+		parseCounts(bufs[0], res.Counts)
+	})
+	start := cls.Env.Now()
+	if err := cls.Run(); err != nil {
+		return nil, err
+	}
+	res.Total = cls.Env.Now() - start
+	return res, nil
+}
+
+// asPhoenix returns a copy of the config with the global-index emit
+// cost applied.
+func (c *Config) asPhoenix() *Config {
+	out := *c
+	out.EmitCost += c.GlobalIndexExtra
+	return &out
+}

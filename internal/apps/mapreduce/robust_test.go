@@ -1,0 +1,70 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"lite/internal/cluster"
+	"lite/internal/params"
+)
+
+func TestSingleWorkerLITEMR(t *testing.T) {
+	input := testInput(60000)
+	cls, dep := newLITECluster(t, 2)
+	cfg := DefaultConfig(0, []int{1}, 1, 2)
+	cfg.ChunkSize = 8192
+	res, err := RunLITE(cls, dep, cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, res.Counts, refWordCount(input))
+}
+
+func TestMasterAsWorker(t *testing.T) {
+	// The master node can also serve as a worker.
+	input := testInput(60000)
+	cls, dep := newLITECluster(t, 2)
+	cfg := DefaultConfig(0, []int{0, 1}, 2, 3)
+	cfg.ChunkSize = 8192
+	res, err := RunLITE(cls, dep, cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, res.Counts, refWordCount(input))
+}
+
+func TestTinyInput(t *testing.T) {
+	input := []byte("a b a")
+	cls, dep := newLITECluster(t, 3)
+	cfg := DefaultConfig(0, []int{1, 2}, 2, 4)
+	res, err := RunLITE(cls, dep, cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["a"] != 2 || res.Counts["b"] != 1 {
+		t.Fatalf("counts = %v", res.Counts)
+	}
+}
+
+func TestMoreReducersThanWords(t *testing.T) {
+	input := []byte("x y")
+	cls, dep := newLITECluster(t, 2)
+	cfg := DefaultConfig(0, []int{1}, 1, 16)
+	res, err := RunLITE(cls, dep, cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, res.Counts, refWordCount(input))
+}
+
+func TestPhoenixSingleThread(t *testing.T) {
+	input := testInput(30000)
+	pcfg := params.Default()
+	cls := cluster.MustNew(&pcfg, 1, 1<<30)
+	cfg := DefaultConfig(0, []int{0}, 1, 2)
+	cfg.ChunkSize = 8192
+	res, err := RunPhoenix(cls, cfg, 0, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, res.Counts, refWordCount(input))
+}

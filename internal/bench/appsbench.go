@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+
+	"lite/internal/apps/graph"
+	"lite/internal/apps/mapreduce"
+	"lite/internal/workload"
+)
+
+func init() {
+	register("fig18", "MapReduce WordCount: Phoenix vs LITE-MR (2/4/8 nodes) vs Hadoop", fig18)
+	register("fig19", "PageRank: LITE-Graph vs Graph-DSM vs Grappa vs PowerGraph", fig19)
+}
+
+func fig18() (*Table, error) {
+	t := &Table{
+		ID:     "fig18",
+		Title:  "WordCount run time (equal total threads; synthetic Zipf corpus)",
+		Header: []string{"System", "Map (s)", "Reduce (s)", "Merge (s)", "Total (s)"},
+	}
+	const totalThreads = 8
+	const reducers = 8
+	input := workload.NewCorpus(42, 30000).Generate(16 << 20)
+	secs := func(d interface{ Seconds() float64 }) string {
+		return fmt.Sprintf("%.3f", d.Seconds())
+	}
+
+	// Phoenix: single node, all threads.
+	{
+		cls, err := newBare(1)
+		if err != nil {
+			return nil, err
+		}
+		cfg := mapreduce.DefaultConfig(0, []int{0}, totalThreads, reducers)
+		res, err := mapreduce.RunPhoenix(cls, cfg, 0, input)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("Phoenix (1 node)", secs(res.Map), secs(res.Reduce), secs(res.Merge), secs(res.Total))
+	}
+	// LITE-MR and Hadoop at 2, 4, 8 worker nodes.
+	for _, workers := range []int{2, 4, 8} {
+		nodes := make([]int, workers)
+		for i := range nodes {
+			nodes[i] = i + 1
+		}
+		threads := totalThreads / workers
+		if threads < 1 {
+			threads = 1
+		}
+		cls, dep, err := newLITE(workers + 1)
+		if err != nil {
+			return nil, err
+		}
+		cfg := mapreduce.DefaultConfig(0, nodes, threads, reducers)
+		res, err := mapreduce.RunLITE(cls, dep, cfg, input)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("LITE-MR (%d nodes)", workers), secs(res.Map), secs(res.Reduce), secs(res.Merge), secs(res.Total))
+
+		hcls, err := newBare(workers + 1)
+		if err != nil {
+			return nil, err
+		}
+		hcfg := mapreduce.DefaultHadoopConfig(0, nodes, threads, reducers)
+		hres, err := mapreduce.RunHadoop(hcls, hcfg, input)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("Hadoop (%d nodes)", workers), secs(hres.Map), secs(hres.Reduce), secs(hres.Merge), secs(hres.Total))
+	}
+	t.Note("paper: LITE-MR beats Hadoop 4.3-5.3x; beats Phoenix in map+reduce, loses the merge phase")
+	return t, nil
+}
+
+func fig19() (*Table, error) {
+	t := &Table{
+		ID:     "fig19",
+		Title:  "PageRank run time (power-law graph, 10 iterations, 4 threads/node)",
+		Header: []string{"Nodes", "LITE-Graph (ms)", "Graph-DSM (ms)", "Grappa (ms)", "PowerGraph (ms)", "PG/LITE"},
+	}
+	g := workload.NewPowerLawGraph(7, 60000, 900000)
+	const iters = 10
+	ms := func(d interface{ Seconds() float64 }) string {
+		return fmt.Sprintf("%.2f", d.Seconds()*1000)
+	}
+	for _, n := range []int{4, 7} {
+		nodes := make([]int, n)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		cfg := graph.DefaultConfig(nodes, 4, iters)
+
+		cls1, dep1, err := newLITE(n)
+		if err != nil {
+			return nil, err
+		}
+		liteRes, err := graph.RunLITE(cls1, dep1, cfg, g)
+		if err != nil {
+			return nil, err
+		}
+		cls2, dep2, err := newLITE(n)
+		if err != nil {
+			return nil, err
+		}
+		dsmRes, err := graph.RunDSM(cls2, dep2, cfg, g)
+		if err != nil {
+			return nil, err
+		}
+		cls3, err := newBare(n)
+		if err != nil {
+			return nil, err
+		}
+		grRes, err := graph.RunMsgEngine(cls3, cfg, graph.GrappaParams(), g)
+		if err != nil {
+			return nil, err
+		}
+		cls4, err := newBare(n)
+		if err != nil {
+			return nil, err
+		}
+		pgRes, err := graph.RunMsgEngine(cls4, cfg, graph.PowerGraphParams(), g)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", n), ms(liteRes.Time), ms(dsmRes.Time), ms(grRes.Time), ms(pgRes.Time),
+			fmt.Sprintf("%.1fx", float64(pgRes.Time)/float64(liteRes.Time)))
+	}
+	t.Note("paper: LITE-Graph outperforms PowerGraph 3.5-5.6x and beats Grappa; Graph-DSM sits between LITE-Graph and the baselines")
+	return t, nil
+}

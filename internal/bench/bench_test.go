@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper's evaluation must have a
+	// registered experiment.
+	want := []string{
+		"fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig10", "fig11", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"tab-cpu", "breakdown", "log-tput", "dsm-micro", "kv-tput",
+		"abl-qp", "abl-window", "abl-chunk", "abl-ring",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Errorf("registry has %d experiments, want >= %d", len(All()), len(want))
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope"); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	tab.Note("a note")
+	out := tab.Format()
+	for _, want := range []string{"== x: demo ==", "333", "# a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSmallExperimentsRun executes the cheap experiments end to end so
+// the harness itself stays green under `go test`.
+func TestSmallExperimentsRun(t *testing.T) {
+	for _, id := range []string{"fig8", "fig12", "breakdown", "fig6"} {
+		tab, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+
+	"lite/internal/apps/dsm"
+	"lite/internal/simtime"
+)
+
+func init() {
+	register("dsm-micro", "LITE-DSM page operation latencies (8.4)", dsmMicro)
+}
+
+// dsmMicro reproduces §8.4's microbenchmark numbers: random and
+// sequential 4KB reads, writes, and the acquire/release cost of
+// committing ten dirty pages, on four machines.
+func dsmMicro() (*Table, error) {
+	t := &Table{
+		ID:     "dsm-micro",
+		Title:  "LITE-DSM operation latency (4 nodes, 4KB pages)",
+		Header: []string{"Operation", "Latency (us)"},
+	}
+	cls, dep, err := newLITE(4)
+	if err != nil {
+		return nil, err
+	}
+	const reads = 50
+	var randRead, seqRead, write, acquire, commit simtime.Time
+	cls.GoOn(0, "bench", func(p *simtime.Proc) {
+		sys, err := dsm.Boot(p, cls, dep, []int{0, 1, 2, 3}, 16<<20, dsm.DefaultConfig())
+		if err != nil {
+			return
+		}
+		d := sys.Node(0)
+		buf := make([]byte, 4096)
+
+		// Random 4KB reads over uncached pages.
+		rng := xorshift(17)
+		start := p.Now()
+		for i := 0; i < reads; i++ {
+			off := int64(rng.next()%(16<<20/4096)) * 4096
+			if err := d.Read(p, off, buf); err != nil {
+				return
+			}
+		}
+		randRead = (p.Now() - start) / reads
+
+		// Sequential 4KB reads over a fresh region (cold pages, but
+		// consecutive homes round-robin across nodes).
+		d2 := sys.Node(1)
+		start = p.Now()
+		for i := 0; i < reads; i++ {
+			if err := d2.Read(p, int64(i)*4096, buf); err != nil {
+				return
+			}
+		}
+		seqRead = (p.Now() - start) / reads
+
+		// Writes of fresh data to cached pages (faults already taken).
+		for i := range buf {
+			buf[i] = 0xC3
+		}
+		start = p.Now()
+		for i := 0; i < reads; i++ {
+			if err := d2.Write(p, int64(i)*4096, buf); err != nil {
+				return
+			}
+		}
+		write = (p.Now() - start) / reads
+
+		// Acquire, then commit 10 dirty pages at release.
+		start = p.Now()
+		d2.Acquire(p)
+		acquire = p.Now() - start
+		start = p.Now()
+		if err := d2.Release(p); err != nil {
+			return
+		}
+		commit = p.Now() - start
+	})
+	if err := cls.Run(); err != nil {
+		return nil, err
+	}
+	t.AddRow("random 4KB read (cold)", us(randRead))
+	t.AddRow("sequential 4KB read (cold)", us(seqRead))
+	t.AddRow("4KB write (cached page)", us(write))
+	t.AddRow("sync begin (acquire)", us(acquire))
+	t.AddRow(fmt.Sprintf("sync commit (%d dirty pages)", reads), us(commit))
+	t.Note("paper 8.4: 12.6us random / 17.2us sequential 4KB reads; 9.2us sync begin; 74.3us commit of 10 dirty pages")
+	return t, nil
+}

@@ -1,0 +1,525 @@
+package bench
+
+import (
+	"fmt"
+
+	"lite/internal/hostmem"
+	"lite/internal/lite"
+	"lite/internal/rnic"
+	"lite/internal/simtime"
+	"lite/internal/verbs"
+)
+
+func init() {
+	register("fig4", "RDMA write latency vs number of (L)MRs (64B writes, 4KB regions)", fig4)
+	register("fig5", "RDMA write throughput vs total (L)MR size (4 threads)", fig5)
+	register("fig6", "Write latency vs request size: Verbs, LITE (kernel/user), TCP/IP", fig6)
+	register("fig7", "Write throughput vs request size, 1 and 8 threads", fig7)
+	register("fig8", "(De)registration latency vs size: Verbs pin/unpin vs LT_map/LT_unmap", fig8)
+}
+
+// verbsWriteLatency measures the mean blocking write latency against
+// nMRs 4KB virtual regions at the remote node.
+func verbsWriteLatency(nMRs, ops int) (simtime.Time, error) {
+	cls, err := newBare(2)
+	if err != nil {
+		return 0, err
+	}
+	var out simtime.Time
+	cls.GoOn(0, "bench", func(p *simtime.Proc) {
+		local := verbs.Open(cls.Nodes[0].NIC, hostmem.NewAddressSpace(cls.Nodes[0].Mem))
+		remote := verbs.Open(cls.Nodes[1].NIC, hostmem.NewAddressSpace(cls.Nodes[1].Mem))
+		srcVA, _ := local.AddressSpace().Map(4096)
+		src, err := local.RegisterMR(p, srcVA, 4096, rnic.PermRead|rnic.PermWrite)
+		if err != nil {
+			return
+		}
+		mrs := make([]*rnic.MR, nMRs)
+		for i := range mrs {
+			va, err := remote.AddressSpace().Map(4096)
+			if err != nil {
+				return
+			}
+			mrs[i], err = remote.RegisterMR(p, va, 4096, rnic.PermRead|rnic.PermWrite)
+			if err != nil {
+				return
+			}
+		}
+		qa, _ := verbs.ConnectRC(local, remote)
+		disp := verbs.NewDispatcher(qa.SendCQ())
+		rng := xorshift(12345)
+		warm := ops / 4
+		var start simtime.Time
+		for i := 0; i < warm+ops; i++ {
+			if i == warm {
+				start = p.Now()
+			}
+			mr := mrs[rng.next()%uint64(nMRs)]
+			wrid := uint64(i + 1)
+			_ = local.PostSend(p, qa, rnic.WR{
+				Kind: rnic.OpWrite, WRID: wrid, Signaled: true,
+				LocalMR: src, Len: 64, RemoteKey: mr.Key(),
+			})
+			disp.Wait(p, wrid)
+		}
+		out = (p.Now() - start) / simtime.Time(ops)
+	})
+	if err := cls.Run(); err != nil {
+		return 0, err
+	}
+	return out, nil
+}
+
+// liteWriteLatency measures mean LT_write latency against nLMRs 4KB
+// LMRs homed at the remote node.
+func liteWriteLatency(nLMRs, ops int) (simtime.Time, error) {
+	cls, dep, err := newLITE(2)
+	if err != nil {
+		return 0, err
+	}
+	var out simtime.Time
+	cls.GoOn(0, "bench", func(p *simtime.Proc) {
+		c := dep.Instance(0).KernelClient()
+		lhs := make([]lite.LH, nLMRs)
+		for i := range lhs {
+			h, err := c.MallocAt(p, []int{1}, 4096, "", lite.PermRead|lite.PermWrite)
+			if err != nil {
+				return
+			}
+			lhs[i] = h
+		}
+		buf := make([]byte, 64)
+		rng := xorshift(777)
+		warm := ops / 4
+		var start simtime.Time
+		for i := 0; i < warm+ops; i++ {
+			if i == warm {
+				start = p.Now()
+			}
+			h := lhs[rng.next()%uint64(nLMRs)]
+			if err := c.Write(p, h, 0, buf); err != nil {
+				return
+			}
+		}
+		out = (p.Now() - start) / simtime.Time(ops)
+	})
+	if err := cls.Run(); err != nil {
+		return 0, err
+	}
+	return out, nil
+}
+
+func fig4() (*Table, error) {
+	t := &Table{
+		ID:     "fig4",
+		Title:  "RDMA write latency vs number of (L)MRs (64B writes to random 4KB regions)",
+		Header: []string{"#(L)MRs", "Verbs write (us)", "LITE_write (us)"},
+	}
+	counts := []int{10, 100, 1000, 10000, 50000}
+	for _, n := range counts {
+		ops := 1000
+		v, err := verbsWriteLatency(n, ops)
+		if err != nil {
+			return nil, err
+		}
+		l, err := liteWriteLatency(n, ops)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", n), us(v), us(l))
+	}
+	t.Note("paper: Verbs degrades past ~100 MRs (NIC key-cache thrash); LITE stays flat (one global physical MR)")
+	return t, nil
+}
+
+// writeThroughput measures blocking-write throughput with the given
+// thread count against one region of the given size, excluding setup:
+// every thread first runs a warm-up quarter, all threads rendezvous,
+// and only the timed ops count.
+func writeThroughput(liteSide bool, size int64, writeSize int, threads, opsPerThread int) (simtime.Time, error) {
+	warm := opsPerThread / 4
+	var measStart, last simtime.Time
+	var warmWG, done simtime.WaitGroup
+	warmWG.Add(threads)
+	done.Add(threads)
+
+	// writer runs one thread's loop given a write closure.
+	writer := func(q *simtime.Proc, seed uint64, write func(q *simtime.Proc, off int64) error) {
+		defer done.Done(q.Env())
+		rng := xorshift(seed)
+		for i := 0; i < warm; i++ {
+			off := int64(rng.next() % uint64(size-int64(writeSize)))
+			if write(q, off) != nil {
+				return
+			}
+		}
+		warmWG.Done(q.Env())
+		warmWG.Wait(q)
+		if measStart == 0 {
+			measStart = q.Now()
+		}
+		for i := 0; i < opsPerThread; i++ {
+			off := int64(rng.next() % uint64(size-int64(writeSize)))
+			if write(q, off) != nil {
+				return
+			}
+		}
+		if q.Now() > last {
+			last = q.Now()
+		}
+	}
+
+	if liteSide {
+		cls, dep, err := newLITE(2)
+		if err != nil {
+			return 0, err
+		}
+		cls.GoOn(0, "setup", func(p *simtime.Proc) {
+			c := dep.Instance(0).KernelClient()
+			h, err := c.MallocAt(p, []int{1}, size, "", lite.PermRead|lite.PermWrite)
+			if err != nil {
+				return
+			}
+			for th := 0; th < threads; th++ {
+				th := th
+				cls.GoOn(0, "writer", func(q *simtime.Proc) {
+					qc := dep.Instance(0).KernelClient()
+					buf := make([]byte, writeSize)
+					writer(q, uint64(th)*7919+13, func(q *simtime.Proc, off int64) error {
+						return qc.Write(q, h, off, buf)
+					})
+				})
+			}
+			done.Wait(p)
+		})
+		if err := cls.Run(); err != nil {
+			return 0, err
+		}
+		return last - measStart, nil
+	}
+	cls, err := newBare(2)
+	if err != nil {
+		return 0, err
+	}
+	cls.GoOn(0, "setup", func(p *simtime.Proc) {
+		local := verbs.Open(cls.Nodes[0].NIC, hostmem.NewAddressSpace(cls.Nodes[0].Mem))
+		remote := verbs.Open(cls.Nodes[1].NIC, hostmem.NewAddressSpace(cls.Nodes[1].Mem))
+		va, err := remote.AddressSpace().Map(size)
+		if err != nil {
+			return
+		}
+		rmr, err := remote.RegisterMR(p, va, size, rnic.PermRead|rnic.PermWrite)
+		if err != nil {
+			return
+		}
+		srcVA, _ := local.AddressSpace().Map(int64(writeSize) + 4096)
+		src, err := local.RegisterMR(p, srcVA, int64(writeSize)+4096, rnic.PermRead|rnic.PermWrite)
+		if err != nil {
+			return
+		}
+		for th := 0; th < threads; th++ {
+			th := th
+			qa, _ := verbs.ConnectRC(local, remote)
+			disp := verbs.NewDispatcher(qa.SendCQ())
+			cls.GoOn(0, "writer", func(q *simtime.Proc) {
+				var wrid uint64
+				writer(q, uint64(th)*104729+7, func(q *simtime.Proc, off int64) error {
+					wrid++
+					id := uint64(th+1)<<32 | wrid
+					if err := local.PostSend(q, qa, rnic.WR{
+						Kind: rnic.OpWrite, WRID: id, Signaled: true,
+						LocalMR: src, Len: int64(writeSize),
+						RemoteKey: rmr.Key(), RemoteOff: off,
+					}); err != nil {
+						return err
+					}
+					disp.Wait(q, id)
+					return nil
+				})
+			})
+		}
+		done.Wait(p)
+	})
+	if err := cls.Run(); err != nil {
+		return 0, err
+	}
+	return last - measStart, nil
+}
+
+func fig5() (*Table, error) {
+	t := &Table{
+		ID:     "fig5",
+		Title:  "Write throughput vs total (L)MR size (4 threads, random writes)",
+		Header: []string{"Size (MB)", "Verbs-64B (req/us)", "LITE-64B (req/us)", "Verbs-1K (req/us)", "LITE-1K (req/us)"},
+	}
+	const threads, ops = 4, 400
+	for _, mb := range []int64{1, 4, 16, 64, 256, 1024} {
+		size := mb << 20
+		row := []string{fmt.Sprintf("%d", mb)}
+		for _, ws := range []int{64, 1024} {
+			v, err := writeThroughput(false, size, ws, threads, ops)
+			if err != nil {
+				return nil, err
+			}
+			l, err := writeThroughput(true, size, ws, threads, ops)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, reqPerUs(int64(threads*ops), v), reqPerUs(int64(threads*ops), l))
+		}
+		// Reorder: 64B pair then 1K pair already in order.
+		t.AddRow(row...)
+	}
+	t.Note("paper: Verbs thrashes the NIC PTE cache above ~4MB; LITE stays flat (physical addressing)")
+	return t, nil
+}
+
+func fig6() (*Table, error) {
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Write latency vs request size",
+		Header: []string{"Size (B)", "Verbs (us)", "LITE KL (us)", "LITE user (us)", "TCP/IP (us)"},
+	}
+	sizes := []int{8, 64, 512, 4096, 32768}
+
+	// Verbs and LITE on one cluster each.
+	type meas struct{ verbs, kl, user simtime.Time }
+	res := make(map[int]*meas)
+	for _, s := range sizes {
+		res[s] = &meas{}
+	}
+	cls, dep, err := newLITE(2)
+	if err != nil {
+		return nil, err
+	}
+	cls.GoOn(0, "bench", func(p *simtime.Proc) {
+		// Native verbs target.
+		local := verbs.Open(cls.Nodes[0].NIC, hostmem.NewAddressSpace(cls.Nodes[0].Mem))
+		remote := verbs.Open(cls.Nodes[1].NIC, hostmem.NewAddressSpace(cls.Nodes[1].Mem))
+		va, _ := remote.AddressSpace().Map(64 << 10)
+		rmr, _ := remote.RegisterMR(p, va, 64<<10, rnic.PermRead|rnic.PermWrite)
+		sva, _ := local.AddressSpace().Map(64 << 10)
+		src, _ := local.RegisterMR(p, sva, 64<<10, rnic.PermRead|rnic.PermWrite)
+		qa, _ := verbs.ConnectRC(local, remote)
+		disp := verbs.NewDispatcher(qa.SendCQ())
+		// LITE target.
+		kc := dep.Instance(0).KernelClient()
+		uc := dep.Instance(0).UserClient()
+		h, _ := kc.MallocAt(p, []int{1}, 64<<10, "", lite.PermRead|lite.PermWrite)
+		const iters = 60
+		for _, s := range sizes {
+			buf := make([]byte, s)
+			measure := func(op func(i int)) simtime.Time {
+				op(0) // warm
+				start := p.Now()
+				for i := 1; i <= iters; i++ {
+					op(i)
+				}
+				return (p.Now() - start) / iters
+			}
+			res[s].verbs = measure(func(i int) {
+				wrid := uint64(s*1000 + i + 1)
+				_ = local.PostSend(p, qa, rnic.WR{
+					Kind: rnic.OpWrite, WRID: wrid, Signaled: true,
+					LocalMR: src, Len: int64(s), RemoteKey: rmr.Key(),
+				})
+				disp.Wait(p, wrid)
+			})
+			res[s].kl = measure(func(int) { _ = kc.Write(p, h, 0, buf) })
+			res[s].user = measure(func(int) { _ = uc.Write(p, h, 0, buf) })
+		}
+	})
+	if err := cls.Run(); err != nil {
+		return nil, err
+	}
+
+	// TCP ping-pong on a fresh cluster; report one-way (RTT/2).
+	tcpLat := make(map[int]simtime.Time)
+	tcls, err := newBare(2)
+	if err != nil {
+		return nil, err
+	}
+	l, _ := tcls.Net.Stack(1).Listen(80)
+	tcls.GoOn(1, "pong", func(p *simtime.Proc) {
+		conn, err := l.Accept(p)
+		if err != nil {
+			return
+		}
+		for {
+			m, err := conn.Recv(p)
+			if err != nil {
+				return
+			}
+			if err := conn.Send(p, m); err != nil {
+				return
+			}
+		}
+	})
+	tcls.GoOn(0, "ping", func(p *simtime.Proc) {
+		conn, err := tcls.Net.Stack(0).Dial(p, 1, 80)
+		if err != nil {
+			return
+		}
+		const iters = 40
+		for _, s := range sizes {
+			buf := make([]byte, s)
+			_ = conn.Send(p, buf)
+			_, _ = conn.Recv(p)
+			start := p.Now()
+			for i := 0; i < iters; i++ {
+				_ = conn.Send(p, buf)
+				_, _ = conn.Recv(p)
+			}
+			tcpLat[s] = (p.Now() - start) / (2 * iters)
+		}
+		conn.Close(p.Env())
+	})
+	if err := tcls.Run(); err != nil {
+		return nil, err
+	}
+
+	for _, s := range sizes {
+		t.AddRow(fmt.Sprintf("%d", s), us(res[s].verbs), us(res[s].kl), us(res[s].user), us(tcpLat[s]))
+	}
+	t.Note("paper: LITE KL ~= Verbs; LITE user slightly above (two crossings); TCP/IP an order of magnitude higher")
+	return t, nil
+}
+
+func fig7() (*Table, error) {
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Write throughput vs request size (1 and 8 threads)",
+		Header: []string{"Size (KB)", "Verbs-1 (GB/s)", "LITE-1 (GB/s)", "Verbs-8 (GB/s)", "LITE-8 (GB/s)", "RDMA-CM-8 (GB/s)", "TCP/IP (GB/s)"},
+	}
+	sizes := []int{1 << 10, 4 << 10, 16 << 10, 64 << 10}
+	const ops = 300
+	region := int64(2 << 20) // fits every cache: best case for both stacks
+	for _, ws := range sizes {
+		var cells []string
+		cells = append(cells, fmt.Sprintf("%d", ws/1024))
+		for _, cfgRun := range []struct {
+			lite    bool
+			threads int
+		}{{false, 1}, {true, 1}, {false, 8}, {true, 8}} {
+			el, err := writeThroughput(cfgRun.lite, region, ws, cfgRun.threads, ops)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, gbps(int64(cfgRun.threads*ops*ws), el))
+		}
+		// RDMA-CM: verbs plus librdmacm per-post overhead; modeled as
+		// the verbs result (the paper finds them nearly identical).
+		cells = append(cells, cells[4])
+		el, err := tcpStreamTime(ws, ops*2)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, gbps(int64(2*ops*ws), el))
+		t.AddRow(cells...)
+	}
+	t.Note("paper: LITE-8 ~= Verbs-8 at the ~4GB/s link peak; TCP/IP well below")
+	return t, nil
+}
+
+// tcpStreamTime measures a one-directional TCP stream of count
+// messages of the given size and returns the elapsed time.
+func tcpStreamTime(msgSize, count int) (simtime.Time, error) {
+	cls, err := newBare(2)
+	if err != nil {
+		return 0, err
+	}
+	l, _ := cls.Net.Stack(1).Listen(80)
+	var done simtime.Time
+	cls.GoOn(1, "sink", func(p *simtime.Proc) {
+		conn, err := l.Accept(p)
+		if err != nil {
+			return
+		}
+		for i := 0; i < count; i++ {
+			if _, err := conn.Recv(p); err != nil {
+				return
+			}
+		}
+		done = p.Now()
+	})
+	cls.GoOn(0, "source", func(p *simtime.Proc) {
+		conn, err := cls.Net.Stack(0).Dial(p, 1, 80)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, msgSize)
+		for i := 0; i < count; i++ {
+			if err := conn.Send(p, buf); err != nil {
+				return
+			}
+		}
+	})
+	if err := cls.Run(); err != nil {
+		return 0, err
+	}
+	return done, nil
+}
+
+func fig8() (*Table, error) {
+	t := &Table{
+		ID:     "fig8",
+		Title:  "(De)registration latency vs region size",
+		Header: []string{"Size (KB)", "Verbs register (us)", "Verbs deregister (us)", "LT_map (us)", "LT_unmap (us)"},
+	}
+	sizes := []int64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+	for _, size := range sizes {
+		var reg, dereg, ltmap, ltunmap simtime.Time
+		cls, dep, err := newLITE(2)
+		if err != nil {
+			return nil, err
+		}
+		size := size
+		ready := false
+		var readyCond simtime.Cond
+		cls.GoOn(1, "owner", func(p *simtime.Proc) {
+			// The LMR lives at node 0 ("a local LMR" for the mapper);
+			// its master is node 1.
+			c := dep.Instance(1).KernelClient()
+			_, _ = c.MallocAt(p, []int{0}, size, fmt.Sprintf("reg-%d", size), lite.PermRead|lite.PermWrite)
+			ready = true
+			readyCond.Broadcast(p.Env())
+		})
+		cls.GoOn(0, "bench", func(p *simtime.Proc) {
+			for !ready {
+				readyCond.Wait(p)
+			}
+			ctx := verbs.Open(cls.Nodes[0].NIC, hostmem.NewAddressSpace(cls.Nodes[0].Mem))
+			va, err := ctx.AddressSpace().Map(size)
+			if err != nil {
+				return
+			}
+			start := p.Now()
+			mr, err := ctx.RegisterMR(p, va, size, rnic.PermRead|rnic.PermWrite)
+			if err != nil {
+				return
+			}
+			reg = p.Now() - start
+			start = p.Now()
+			_ = ctx.DeregisterMR(p, mr)
+			dereg = p.Now() - start
+
+			c := dep.Instance(0).KernelClient()
+			start = p.Now()
+			h, err := c.Map(p, fmt.Sprintf("reg-%d", size))
+			if err != nil {
+				return
+			}
+			ltmap = p.Now() - start
+			start = p.Now()
+			_ = c.Unmap(p, h)
+			ltunmap = p.Now() - start
+		})
+		if err := cls.Run(); err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", size/1024), us(reg), us(dereg), us(ltmap), us(ltunmap))
+	}
+	t.Note("paper: Verbs (de)registration grows with size (page pinning); LT_map/LT_unmap are flat metadata operations")
+	return t, nil
+}

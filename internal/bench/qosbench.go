@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"lite/internal/apps/graph"
+	"lite/internal/apps/litelog"
+	"lite/internal/cluster"
+	"lite/internal/lite"
+	"lite/internal/simtime"
+	"lite/internal/workload"
+)
+
+func init() {
+	register("fig15", "QoS with real applications: LITE-Log and LITE-Graph vs background traffic", fig15)
+	register("fig16", "QoS under the synthetic high/low-priority mix (timeline)", fig16)
+}
+
+// backgroundWriters floods low-priority 64KB writes from srcs to dst
+// until stop.
+func backgroundWriters(cls *cluster.Cluster, dep *lite.Deployment, srcs []int, dst int, stop *bool) {
+	for _, s := range srcs {
+		s := s
+		cls.GoDaemonOn(s, "bg-writer", func(p *simtime.Proc) {
+			c := dep.Instance(s).KernelClient().SetPriority(lite.PriLow)
+			h, err := c.MallocAt(p, []int{dst}, 1<<20, "", lite.PermRead|lite.PermWrite)
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 64<<10)
+			for !*stop {
+				_ = c.Write(p, h, 0, buf)
+			}
+		})
+	}
+}
+
+// logRateUnder measures LITE-Log commit throughput at node 1 (log at
+// node 0) under the given QoS mode with background traffic.
+func logRateUnder(mode lite.QoSMode, withBG bool) (float64, error) {
+	opts := lite.DefaultOptions()
+	opts.QPsPerPair = 4 // three QPs for high priority, one for low (6.2)
+	cls, dep, err := newLITEOpts(4, opts)
+	if err != nil {
+		return 0, err
+	}
+	dep.SetQoSMode(mode)
+	stop := false
+	if withBG {
+		backgroundWriters(cls, dep, []int{2, 3}, 0, &stop)
+	}
+	const ops = 300
+	var rate float64
+	cls.GoOn(1, "committer", func(p *simtime.Proc) {
+		c := dep.Instance(1).KernelClient() // high priority by default
+		lg, err := litelog.Create(p, c, 0, 32<<20, "qos-log")
+		if err != nil {
+			return
+		}
+		entry := [][]byte{make([]byte, 16)}
+		p.Sleep(50 * time.Microsecond) // let background traffic ramp
+		start := p.Now()
+		for i := 0; i < ops; i++ {
+			if _, err := lg.Append(p, entry); err != nil {
+				return
+			}
+		}
+		rate = float64(ops) / (p.Now() - start).Seconds()
+		stop = true
+	})
+	if err := cls.Run(); err != nil {
+		return 0, err
+	}
+	return rate, nil
+}
+
+// graphRateUnder measures LITE-Graph PageRank speed (iterations/s)
+// under the given QoS mode with background traffic.
+func graphRateUnder(mode lite.QoSMode, withBG bool) (float64, error) {
+	opts := lite.DefaultOptions()
+	opts.QPsPerPair = 4
+	cls, dep, err := newLITEOpts(4, opts)
+	if err != nil {
+		return 0, err
+	}
+	dep.SetQoSMode(mode)
+	stop := false
+	if withBG {
+		backgroundWriters(cls, dep, []int{2, 3}, 0, &stop)
+	}
+	g := workload.NewPowerLawGraph(5, 8000, 80000)
+	cfg := graph.DefaultConfig([]int{0, 1, 2, 3}, 2, 6)
+	res, err := graph.RunLITE(cls, dep, cfg, g)
+	stop = true
+	if err != nil {
+		return 0, err
+	}
+	return float64(cfg.Iterations) / res.Time.Seconds(), nil
+}
+
+func fig15() (*Table, error) {
+	t := &Table{
+		ID:     "fig15",
+		Title:  "QoS with real applications (performance normalized to no-background)",
+		Header: []string{"App", "No b/g traffic", "SW-Pri", "HW-Sep", "No QoS"},
+	}
+	type runFn func(lite.QoSMode, bool) (float64, error)
+	for _, app := range []struct {
+		name string
+		run  runFn
+	}{{"LITE-Log", logRateUnder}, {"LITE-Graph", graphRateUnder}} {
+		base, err := app.run(lite.QoSNone, false)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{app.name, "1.00"}
+		for _, mode := range []lite.QoSMode{lite.QoSSWPri, lite.QoSHWSep, lite.QoSNone} {
+			v, err := app.run(mode, true)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", v/base))
+		}
+		t.AddRow(row...)
+	}
+	t.Note("paper: SW-Pri keeps high-priority apps near their no-background performance; HW-Sep is worse; no QoS worst")
+	return t, nil
+}
+
+// fig16 reproduces the synthetic QoS timeline: low-priority writers
+// run from t=0; high-priority writers join later; throughput is
+// bucketed over time for each policy.
+func fig16() (*Table, error) {
+	t := &Table{
+		ID:     "fig16",
+		Title:  "QoS timeline, synthetic mix (GB/s per 10ms bucket; high joins at 20ms)",
+		Header: []string{"t (ms)", "NoQoS total", "NoQoS high", "HW-Sep total", "HW-Sep high", "SW-Pri total", "SW-Pri high"},
+	}
+	const buckets = 8
+	const bucketLen = 10 * time.Millisecond
+	type series struct{ total, high [buckets]int64 }
+	runPolicy := func(mode lite.QoSMode) (*series, error) {
+		opts := lite.DefaultOptions()
+		opts.QPsPerPair = 4
+		cls, dep, err := newLITEOpts(3, opts)
+		if err != nil {
+			return nil, err
+		}
+		dep.SetQoSMode(mode)
+		s := &series{}
+		record := func(at simtime.Time, n int64, high bool) {
+			b := int(at / bucketLen)
+			if b >= 0 && b < buckets {
+				s.total[b] += n
+				if high {
+					s.high[b] += n
+				}
+			}
+		}
+		var done simtime.WaitGroup
+		const lowThreads, highThreads = 10, 10
+		const lowOps, highOps = 1200, 800
+		done.Add(lowThreads + highThreads)
+		for th := 0; th < lowThreads; th++ {
+			cls.GoOn(1, "low", func(p *simtime.Proc) {
+				defer done.Done(p.Env())
+				c := dep.Instance(1).KernelClient().SetPriority(lite.PriLow)
+				h, err := c.MallocAt(p, []int{0}, 1<<20, "", lite.PermRead|lite.PermWrite)
+				if err != nil {
+					return
+				}
+				buf := make([]byte, 8<<10)
+				for i := 0; i < lowOps; i++ {
+					if err := c.Write(p, h, 0, buf); err != nil {
+						return
+					}
+					record(p.Now(), int64(len(buf)), false)
+				}
+			})
+		}
+		for th := 0; th < highThreads; th++ {
+			cls.GoOn(2, "high", func(p *simtime.Proc) {
+				defer done.Done(p.Env())
+				c := dep.Instance(2).KernelClient().SetPriority(lite.PriHigh)
+				h, err := c.MallocAt(p, []int{0}, 1<<20, "", lite.PermRead|lite.PermWrite)
+				if err != nil {
+					return
+				}
+				p.Sleep(20 * time.Millisecond)
+				buf := make([]byte, 8<<10)
+				for i := 0; i < highOps; i++ {
+					if err := c.Write(p, h, 0, buf); err != nil {
+						return
+					}
+					record(p.Now(), int64(len(buf)), true)
+				}
+			})
+		}
+		if err := cls.Run(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+
+	var all []*series
+	for _, mode := range []lite.QoSMode{lite.QoSNone, lite.QoSHWSep, lite.QoSSWPri} {
+		s, err := runPolicy(mode)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, s)
+	}
+	for b := 0; b < buckets; b++ {
+		row := []string{fmt.Sprintf("%d-%d", b*10, b*10+10)}
+		for _, s := range all {
+			row = append(row, gbps(s.total[b], bucketLen), gbps(s.high[b], bucketLen))
+		}
+		t.AddRow(row...)
+	}
+	t.Note("paper: SW-Pri protects high-priority bandwidth while keeping total near no-QoS; HW-Sep has the lowest total")
+	return t, nil
+}

@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"fmt"
+
+	"lite/internal/apps/litelog"
+	"lite/internal/lite"
+	"lite/internal/simtime"
+)
+
+func init() {
+	register("fig14", "Scalability of LITE RDMA and RPC with cluster size", fig14)
+	register("log-tput", "LITE-Log transaction commit throughput (8.1)", logTput)
+}
+
+// clusterWriteRate runs 8 threads per node doing 64B LT_writes to
+// random peers and returns aggregate requests/us.
+func clusterWriteRate(n int) (float64, error) {
+	cls, dep, err := newLITE(n)
+	if err != nil {
+		return 0, err
+	}
+	const threads = 8
+	const ops = 150
+	var done simtime.WaitGroup
+	done.Add(n * threads)
+	var measStart, last simtime.Time
+	var started simtime.WaitGroup
+	started.Add(n * threads)
+	// One 1MB LMR per node, written by everyone else.
+	lhs := make([][]lite.LH, n) // lhs[node][target]
+	for node := 0; node < n; node++ {
+		node := node
+		cls.GoOn(node, "setup", func(p *simtime.Proc) {
+			c := dep.Instance(node).KernelClient()
+			name := fmt.Sprintf("f14-%d", node)
+			if _, err := c.Malloc(p, 1<<20, name, lite.PermRead|lite.PermWrite); err != nil {
+				return
+			}
+			// Wait for all allocations, then map every peer.
+			if err := c.Barrier(p, 0xF14, n); err != nil {
+				return
+			}
+			lhs[node] = make([]lite.LH, n)
+			for t := 0; t < n; t++ {
+				h, err := c.Map(p, fmt.Sprintf("f14-%d", t))
+				if err != nil {
+					return
+				}
+				lhs[node][t] = h
+			}
+			for th := 0; th < threads; th++ {
+				th := th
+				cls.GoOn(node, "writer", func(q *simtime.Proc) {
+					defer done.Done(q.Env())
+					qc := dep.Instance(node).KernelClient()
+					buf := make([]byte, 64)
+					rng := xorshift(uint64(node*threads+th)*2654435761 + 11)
+					write := func() {
+						t := int(rng.next() % uint64(n))
+						if t == node {
+							t = (t + 1) % n
+						}
+						off := int64(rng.next() % (1<<20 - 64))
+						_ = qc.Write(q, lhs[node][t], off, buf)
+					}
+					for i := 0; i < ops/4; i++ {
+						write()
+					}
+					started.Done(q.Env())
+					started.Wait(q)
+					if measStart == 0 {
+						measStart = q.Now()
+					}
+					for i := 0; i < ops; i++ {
+						write()
+					}
+					if q.Now() > last {
+						last = q.Now()
+					}
+				})
+			}
+		})
+	}
+	if err := cls.Run(); err != nil {
+		return 0, err
+	}
+	el := last - measStart
+	if el <= 0 {
+		return 0, fmt.Errorf("fig14: no elapsed time")
+	}
+	return float64(n*threads*ops) / (float64(el) / 1000.0), nil
+}
+
+// clusterRPCRate runs 8 client threads per node issuing 64B->8B RPCs
+// to random peers (every node also serves) and returns requests/us.
+func clusterRPCRate(n int) (float64, error) {
+	cls, dep, err := newLITE(n)
+	if err != nil {
+		return 0, err
+	}
+	for node := 0; node < n; node++ {
+		startLITEEcho(cls, dep, node, 8)
+	}
+	const threads = 8
+	const ops = 120
+	var done, started simtime.WaitGroup
+	done.Add(n * threads)
+	started.Add(n * threads)
+	var measStart, last simtime.Time
+	for node := 0; node < n; node++ {
+		node := node
+		for th := 0; th < threads; th++ {
+			th := th
+			cls.GoOn(node, "client", func(q *simtime.Proc) {
+				defer done.Done(q.Env())
+				c := dep.Instance(node).KernelClient()
+				rng := xorshift(uint64(node*threads+th)*40503 + 3)
+				in := rpcInput(64, 8)
+				call := func() {
+					t := int(rng.next() % uint64(n))
+					if t == node {
+						t = (t + 1) % n
+					}
+					_, _ = c.RPC(q, t, benchFn, in, 64)
+				}
+				for i := 0; i < ops/4; i++ {
+					call()
+				}
+				started.Done(q.Env())
+				started.Wait(q)
+				if measStart == 0 {
+					measStart = q.Now()
+				}
+				for i := 0; i < ops; i++ {
+					call()
+				}
+				if q.Now() > last {
+					last = q.Now()
+				}
+			})
+		}
+	}
+	if err := cls.Run(); err != nil {
+		return 0, err
+	}
+	el := last - measStart
+	if el <= 0 {
+		return 0, fmt.Errorf("fig14: no elapsed time")
+	}
+	return float64(n*threads*ops) / (float64(el) / 1000.0), nil
+}
+
+func fig14() (*Table, error) {
+	t := &Table{
+		ID:     "fig14",
+		Title:  "Scalability with cluster size (8 threads/node; 64B LT_write; 64B->8B LT_RPC)",
+		Header: []string{"Nodes", "LT_write (req/us)", "LT_RPC (req/us)"},
+	}
+	for _, n := range []int{2, 4, 6, 8} {
+		w, err := clusterWriteRate(n)
+		if err != nil {
+			return nil, err
+		}
+		r, err := clusterRPCRate(n)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.2f", w), fmt.Sprintf("%.2f", r))
+	}
+	t.Note("paper: both scale near-linearly with node count on K x N shared QPs")
+	return t, nil
+}
+
+func logTput() (*Table, error) {
+	t := &Table{
+		ID:     "log-tput",
+		Title:  "LITE-Log single-entry (16B) transaction commits/s",
+		Header: []string{"Writer nodes", "Commits/s"},
+	}
+	for _, writers := range []int{2, 4, 8} {
+		rate, err := logCommitRate(writers)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", writers), fmt.Sprintf("%.0f", rate))
+	}
+	t.Note("paper: ~833K commits/s with two nodes; scales with nodes and transaction size")
+	return t, nil
+}
+
+func logCommitRate(writers int) (float64, error) {
+	cls, dep, err := newLITE(writers + 1)
+	if err != nil {
+		return 0, err
+	}
+	const threadsPerNode = 4
+	const ops = 120
+	var done, started simtime.WaitGroup
+	done.Add(writers * threadsPerNode)
+	started.Add(writers * threadsPerNode)
+	var measStart, last simtime.Time
+	ready := false
+	var readyCond simtime.Cond
+	cls.GoOn(0, "creator", func(p *simtime.Proc) {
+		c := dep.Instance(0).KernelClient()
+		if _, err := litelog.Create(p, c, 0, 64<<20, "bench-log"); err != nil {
+			return
+		}
+		ready = true
+		readyCond.Broadcast(p.Env())
+	})
+	for w := 1; w <= writers; w++ {
+		w := w
+		for th := 0; th < threadsPerNode; th++ {
+			cls.GoOn(w, "committer", func(q *simtime.Proc) {
+				defer done.Done(q.Env())
+				for !ready {
+					readyCond.Wait(q)
+				}
+				c := dep.Instance(w).KernelClient()
+				lg, err := litelog.Open(q, c, "bench-log", 64<<20)
+				if err != nil {
+					return
+				}
+				entry := [][]byte{make([]byte, 16)}
+				for i := 0; i < ops/4; i++ {
+					_, _ = lg.Append(q, entry)
+				}
+				started.Done(q.Env())
+				started.Wait(q)
+				if measStart == 0 {
+					measStart = q.Now()
+				}
+				for i := 0; i < ops; i++ {
+					_, _ = lg.Append(q, entry)
+				}
+				if q.Now() > last {
+					last = q.Now()
+				}
+			})
+		}
+	}
+	if err := cls.Run(); err != nil {
+		return 0, err
+	}
+	el := last - measStart
+	if el <= 0 {
+		return 0, fmt.Errorf("log-tput: no elapsed time")
+	}
+	return float64(writers*threadsPerNode*ops) / el.Seconds(), nil
+}

@@ -1,0 +1,112 @@
+// Package cluster assembles the simulated testbed: N nodes, each with
+// physical memory, an RDMA NIC, an OS boundary, a TCP/IP (IPoIB)
+// stack, and a CPU account, all connected by one switched fabric —
+// the shape of the paper's 10-machine InfiniBand cluster.
+package cluster
+
+import (
+	"fmt"
+
+	"lite/internal/fabric"
+	"lite/internal/hostmem"
+	"lite/internal/hostos"
+	"lite/internal/params"
+	"lite/internal/rnic"
+	"lite/internal/simtime"
+	"lite/internal/tcpip"
+)
+
+// Node is one simulated machine.
+type Node struct {
+	ID       int
+	Mem      *hostmem.Memory
+	NIC      *rnic.NIC
+	OS       *hostos.OS
+	TCP      *tcpip.Stack
+	KernelAS *hostmem.AddressSpace
+	CPU      *simtime.CPUAccount
+}
+
+// Cluster is the whole simulated testbed.
+type Cluster struct {
+	Env   *simtime.Env
+	Cfg   *params.Config
+	Fab   *fabric.Fabric
+	Reg   *rnic.Registry
+	Net   *tcpip.Network
+	Nodes []*Node
+}
+
+// New builds a cluster of n nodes with memPerNode bytes of physical
+// memory each.
+func New(cfg *params.Config, n int, memPerNode int64) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", n)
+	}
+	env := simtime.NewEnv()
+	fab := fabric.New(cfg)
+	c := &Cluster{
+		Env: env,
+		Cfg: cfg,
+		Fab: fab,
+		Reg: rnic.NewRegistry(env, cfg, fab),
+		Net: tcpip.NewNetwork(env, cfg, fab),
+	}
+	for i := 0; i < n; i++ {
+		mem := hostmem.New(memPerNode, cfg.PageSize)
+		nic, err := c.Reg.NewNIC(i, mem)
+		if err != nil {
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, &Node{
+			ID:       i,
+			Mem:      mem,
+			NIC:      nic,
+			OS:       hostos.New(cfg),
+			TCP:      c.Net.Stack(i),
+			KernelAS: hostmem.NewAddressSpace(mem),
+			CPU:      &simtime.CPUAccount{},
+		})
+	}
+	return c, nil
+}
+
+// MustNew is New for tests and examples; it panics on error.
+func MustNew(cfg *params.Config, n int, memPerNode int64) *Cluster {
+	c, err := New(cfg, n, memPerNode)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// GoOn spawns a process logically running on the given node: its CPU
+// time accrues to that node's account.
+func (c *Cluster) GoOn(node int, name string, fn func(*simtime.Proc)) *simtime.Proc {
+	nd := c.Nodes[node]
+	return c.Env.Go(fmt.Sprintf("n%d/%s", node, name), func(p *simtime.Proc) {
+		p.SetCPUAccount(nd.CPU)
+		fn(p)
+	})
+}
+
+// GoDaemonOn is GoOn for daemon processes (background pollers).
+func (c *Cluster) GoDaemonOn(node int, name string, fn func(*simtime.Proc)) *simtime.Proc {
+	nd := c.Nodes[node]
+	return c.Env.GoDaemon(fmt.Sprintf("n%d/%s", node, name), func(p *simtime.Proc) {
+		p.SetCPUAccount(nd.CPU)
+		fn(p)
+	})
+}
+
+// Run executes the simulation to completion.
+func (c *Cluster) Run() error { return c.Env.Run() }
+
+// TotalCPU returns the summed busy CPU time across all nodes.
+func (c *Cluster) TotalCPU() simtime.Time {
+	var t simtime.Time
+	for _, nd := range c.Nodes {
+		t += nd.CPU.Busy()
+	}
+	return t
+}

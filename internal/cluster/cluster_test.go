@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"lite/internal/params"
+	"lite/internal/simtime"
+)
+
+func TestNewBuildsAllComponents(t *testing.T) {
+	cfg := params.Default()
+	c, err := New(&cfg, 4, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes) != 4 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+	for i, nd := range c.Nodes {
+		if nd.ID != i || nd.Mem == nil || nd.NIC == nil || nd.OS == nil || nd.TCP == nil || nd.KernelAS == nil || nd.CPU == nil {
+			t.Fatalf("node %d incompletely built: %+v", i, nd)
+		}
+		if nd.Mem.TotalBytes() != 1<<30 {
+			t.Fatalf("node %d memory = %d", i, nd.Mem.TotalBytes())
+		}
+	}
+	if c.Fab.Ports() != 4 {
+		t.Fatalf("fabric ports = %d", c.Fab.Ports())
+	}
+}
+
+func TestNewRejectsZeroNodes(t *testing.T) {
+	cfg := params.Default()
+	if _, err := New(&cfg, 0, 1<<30); err == nil {
+		t.Fatal("expected error for zero nodes")
+	}
+}
+
+func TestGoOnAccountsCPUPerNode(t *testing.T) {
+	cfg := params.Default()
+	c := MustNew(&cfg, 2, 1<<30)
+	c.GoOn(0, "worker", func(p *simtime.Proc) {
+		p.Work(5 * time.Microsecond)
+	})
+	c.GoOn(1, "worker", func(p *simtime.Proc) {
+		p.Work(3 * time.Microsecond)
+		p.Sleep(100 * time.Microsecond) // idle, not charged
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes[0].CPU.Busy() != 5*time.Microsecond {
+		t.Fatalf("node0 cpu = %v", c.Nodes[0].CPU.Busy())
+	}
+	if c.Nodes[1].CPU.Busy() != 3*time.Microsecond {
+		t.Fatalf("node1 cpu = %v", c.Nodes[1].CPU.Busy())
+	}
+	if c.TotalCPU() != 8*time.Microsecond {
+		t.Fatalf("total = %v", c.TotalCPU())
+	}
+}
+
+func TestGoDaemonOnDoesNotBlockRun(t *testing.T) {
+	cfg := params.Default()
+	c := MustNew(&cfg, 1, 1<<30)
+	c.GoDaemonOn(0, "poller", func(p *simtime.Proc) {
+		for {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	c.GoOn(0, "main", func(p *simtime.Proc) { p.Sleep(5 * time.Microsecond) })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Env.Now() != 5*time.Microsecond {
+		t.Fatalf("now = %v", c.Env.Now())
+	}
+}

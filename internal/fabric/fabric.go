@@ -1,0 +1,105 @@
+// Package fabric simulates a single-switch network fabric (the paper's
+// 40 Gbps Mellanox InfiniBand switch) connecting a cluster of nodes.
+//
+// The fabric is a pure timing facility: it owns the per-node egress and
+// ingress link occupancies and computes, for a message of a given size
+// posted at a given instant, when its last byte is available at the
+// destination port. The NIC layers (rnic, tcpip) decide what happens at
+// delivery. Links are cut-through: a message's serialization delay is
+// paid once, while both the egress and ingress links are occupied for
+// the serialization duration (so incast and outcast contention both
+// queue correctly).
+package fabric
+
+import (
+	"fmt"
+
+	"lite/internal/params"
+	"lite/internal/simtime"
+)
+
+// Fabric is a single-switch network connecting numbered ports.
+type Fabric struct {
+	cfg   *params.Config
+	ports map[int]*port
+	// down records unreachable directed pairs for failure injection.
+	down map[[2]int]bool
+}
+
+type port struct {
+	egress  simtime.Server
+	ingress simtime.Server
+}
+
+// New returns a fabric using the given cost model.
+func New(cfg *params.Config) *Fabric {
+	return &Fabric{
+		cfg:   cfg,
+		ports: make(map[int]*port),
+		down:  make(map[[2]int]bool),
+	}
+}
+
+// AddPort registers a node's port. Adding an existing port is an error.
+func (f *Fabric) AddPort(node int) error {
+	if _, ok := f.ports[node]; ok {
+		return fmt.Errorf("fabric: port %d already exists", node)
+	}
+	f.ports[node] = &port{}
+	return nil
+}
+
+// SetLinkDown makes messages from src to dst undeliverable (in that
+// direction only) until SetLinkUp. Used for failure injection.
+func (f *Fabric) SetLinkDown(src, dst int) { f.down[[2]int{src, dst}] = true }
+
+// SetLinkUp restores delivery from src to dst.
+func (f *Fabric) SetLinkUp(src, dst int) { delete(f.down, [2]int{src, dst}) }
+
+// Reachable reports whether src can currently reach dst.
+func (f *Fabric) Reachable(src, dst int) bool {
+	if _, ok := f.ports[src]; !ok {
+		return false
+	}
+	if _, ok := f.ports[dst]; !ok {
+		return false
+	}
+	return !f.down[[2]int{src, dst}]
+}
+
+// ReservePath books transmission of size bytes from src to dst with
+// the message ready to transmit at time at, and returns the instant the
+// last byte has arrived at dst's port. It returns ok=false if the path
+// is unreachable, in which case the message must be considered lost.
+//
+// Loopback (src == dst) bypasses the wire entirely and costs only the
+// switch-free local turnaround (zero; NIC pipelines still apply).
+func (f *Fabric) ReservePath(at simtime.Time, src, dst int, size int64) (simtime.Time, bool) {
+	if !f.Reachable(src, dst) {
+		return 0, false
+	}
+	if src == dst {
+		return at, true
+	}
+	sp := f.ports[src]
+	dp := f.ports[dst]
+	ser := params.TransferTime(size, f.cfg.LinkBandwidth)
+	egressDone := sp.egress.Reserve(at, ser)
+	// Cut-through: the head of the message reaches the destination
+	// propagation+switch after it starts leaving the source; the
+	// ingress link is then occupied for one serialization time.
+	headArrive := egressDone - ser + f.cfg.PropagationDelay + f.cfg.SwitchDelay
+	return dp.ingress.Reserve(headArrive, ser), true
+}
+
+// EgressBusy returns the total busy time of a node's egress link, for
+// utilization reporting.
+func (f *Fabric) EgressBusy(node int) simtime.Time {
+	if p, ok := f.ports[node]; ok {
+		return p.egress.BusyTotal()
+	}
+	return 0
+}
+
+// Ports returns the number of registered ports.
+func (f *Fabric) Ports() int { return len(f.ports) }

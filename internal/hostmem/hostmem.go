@@ -1,0 +1,457 @@
+// Package hostmem simulates a node's physical memory: a page-frame
+// allocator with support for physically contiguous ranges, per-page pin
+// counts (RDMA registration pins pages), lazily materialized page
+// contents, and per-process virtual address spaces with page tables.
+//
+// Physical frames are materialized lazily, so a simulated node can
+// expose a large physical memory (the paper's testbed has 128 GB per
+// node) while the simulation only pays for pages actually touched.
+package hostmem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// PAddr is a physical byte address on one node.
+type PAddr int64
+
+// VAddr is a virtual byte address inside one address space.
+type VAddr int64
+
+// Common errors returned by the memory system.
+var (
+	ErrOutOfMemory  = errors.New("hostmem: out of physical memory")
+	ErrNoContiguous = errors.New("hostmem: no contiguous physical range of requested size")
+	ErrBadAddress   = errors.New("hostmem: address out of range or unmapped")
+	ErrDoubleFree   = errors.New("hostmem: freeing memory that is not allocated")
+	ErrPinned       = errors.New("hostmem: cannot free pinned memory")
+	ErrNotPinned    = errors.New("hostmem: unpinning page that is not pinned")
+	ErrBadSize      = errors.New("hostmem: size must be positive")
+)
+
+type frameRange struct {
+	start int64 // first frame
+	n     int64 // number of frames
+}
+
+// Memory is one node's physical memory.
+type Memory struct {
+	pageSize   int64
+	totalPages int64
+	free       []frameRange // sorted by start, coalesced
+	frames     map[int64][]byte
+	pins       map[int64]int
+	allocated  int64 // frames currently allocated
+
+	watches []watch
+	nextWID int
+}
+
+// watch is a write observer over a physical range. It exists for
+// simulation fidelity: systems like HERD and FaRM detect incoming
+// RDMA writes by busy-polling host memory, which a discrete-event
+// simulation represents as a callback on commit plus CPU charged by
+// the poller for the time it would have spun.
+type watch struct {
+	id    int
+	start PAddr
+	end   PAddr
+	fn    func()
+}
+
+// AddWatch registers fn to run whenever a Write overlaps [pa, pa+n).
+// It returns an id for RemoveWatch. The callback runs in whatever
+// context performed the write (possibly a scheduler callback) and must
+// not block.
+func (m *Memory) AddWatch(pa PAddr, n int64, fn func()) int {
+	m.nextWID++
+	m.watches = append(m.watches, watch{id: m.nextWID, start: pa, end: pa + PAddr(n), fn: fn})
+	return m.nextWID
+}
+
+// RemoveWatch unregisters a watch by id.
+func (m *Memory) RemoveWatch(id int) {
+	for k, w := range m.watches {
+		if w.id == id {
+			m.watches = append(m.watches[:k], m.watches[k+1:]...)
+			return
+		}
+	}
+}
+
+func (m *Memory) notifyWatches(pa PAddr, n int64) {
+	if len(m.watches) == 0 {
+		return
+	}
+	end := pa + PAddr(n)
+	for _, w := range m.watches {
+		if pa < w.end && w.start < end {
+			w.fn()
+		}
+	}
+}
+
+// New returns a physical memory of totalBytes with the given page size.
+func New(totalBytes, pageSize int64) *Memory {
+	if pageSize <= 0 || totalBytes < pageSize {
+		panic("hostmem: invalid geometry")
+	}
+	return &Memory{
+		pageSize:   pageSize,
+		totalPages: totalBytes / pageSize,
+		free:       []frameRange{{0, totalBytes / pageSize}},
+		frames:     make(map[int64][]byte),
+		pins:       make(map[int64]int),
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (m *Memory) PageSize() int64 { return m.pageSize }
+
+// TotalBytes returns the physical memory size.
+func (m *Memory) TotalBytes() int64 { return m.totalPages * m.pageSize }
+
+// AllocatedBytes returns the bytes currently allocated.
+func (m *Memory) AllocatedBytes() int64 { return m.allocated * m.pageSize }
+
+// FreeBytes returns the bytes currently free.
+func (m *Memory) FreeBytes() int64 { return (m.totalPages - m.allocated) * m.pageSize }
+
+func (m *Memory) pagesFor(n int64) int64 {
+	return (n + m.pageSize - 1) / m.pageSize
+}
+
+// AllocContiguous allocates n bytes of physically contiguous memory
+// (first fit) and returns its base physical address.
+func (m *Memory) AllocContiguous(n int64) (PAddr, error) {
+	if n <= 0 {
+		return 0, ErrBadSize
+	}
+	want := m.pagesFor(n)
+	for i, r := range m.free {
+		if r.n >= want {
+			base := r.start
+			if r.n == want {
+				m.free = append(m.free[:i], m.free[i+1:]...)
+			} else {
+				m.free[i] = frameRange{r.start + want, r.n - want}
+			}
+			m.allocated += want
+			return PAddr(base * m.pageSize), nil
+		}
+	}
+	if m.totalPages-m.allocated >= want {
+		return 0, ErrNoContiguous
+	}
+	return 0, ErrOutOfMemory
+}
+
+// AllocPages allocates n bytes of physical memory that need not be
+// contiguous and returns the frame base addresses, one per page.
+func (m *Memory) AllocPages(n int64) ([]PAddr, error) {
+	if n <= 0 {
+		return nil, ErrBadSize
+	}
+	want := m.pagesFor(n)
+	if m.totalPages-m.allocated < want {
+		return nil, ErrOutOfMemory
+	}
+	out := make([]PAddr, 0, want)
+	for want > 0 {
+		r := m.free[0]
+		take := r.n
+		if take > want {
+			take = want
+		}
+		for i := int64(0); i < take; i++ {
+			out = append(out, PAddr((r.start+i)*m.pageSize))
+		}
+		if take == r.n {
+			m.free = m.free[1:]
+		} else {
+			m.free[0] = frameRange{r.start + take, r.n - take}
+		}
+		m.allocated += take
+		want -= take
+	}
+	return out, nil
+}
+
+// Free releases n bytes starting at the page-aligned physical address
+// pa. Pinned pages cannot be freed.
+func (m *Memory) Free(pa PAddr, n int64) error {
+	if n <= 0 {
+		return ErrBadSize
+	}
+	start := int64(pa) / m.pageSize
+	count := m.pagesFor(n)
+	if int64(pa)%m.pageSize != 0 || start+count > m.totalPages {
+		return ErrBadAddress
+	}
+	for f := start; f < start+count; f++ {
+		if m.pins[f] > 0 {
+			return ErrPinned
+		}
+		if m.isFree(f) {
+			return ErrDoubleFree
+		}
+	}
+	for f := start; f < start+count; f++ {
+		delete(m.frames, f)
+	}
+	m.insertFree(frameRange{start, count})
+	m.allocated -= count
+	return nil
+}
+
+func (m *Memory) isFree(frame int64) bool {
+	i := sort.Search(len(m.free), func(i int) bool { return m.free[i].start+m.free[i].n > frame })
+	return i < len(m.free) && m.free[i].start <= frame
+}
+
+func (m *Memory) insertFree(r frameRange) {
+	i := sort.Search(len(m.free), func(i int) bool { return m.free[i].start > r.start })
+	m.free = append(m.free, frameRange{})
+	copy(m.free[i+1:], m.free[i:])
+	m.free[i] = r
+	// Coalesce with neighbors.
+	if i+1 < len(m.free) && m.free[i].start+m.free[i].n == m.free[i+1].start {
+		m.free[i].n += m.free[i+1].n
+		m.free = append(m.free[:i+1], m.free[i+2:]...)
+	}
+	if i > 0 && m.free[i-1].start+m.free[i-1].n == m.free[i].start {
+		m.free[i-1].n += m.free[i].n
+		m.free = append(m.free[:i], m.free[i+1:]...)
+	}
+}
+
+// MaxContiguousRun returns the largest allocatable contiguous range in
+// bytes; useful for fragmentation diagnostics.
+func (m *Memory) MaxContiguousRun() int64 {
+	var best int64
+	for _, r := range m.free {
+		if r.n > best {
+			best = r.n
+		}
+	}
+	return best * m.pageSize
+}
+
+// Pin increments the pin count of every page in [pa, pa+n).
+func (m *Memory) Pin(pa PAddr, n int64) error {
+	start, count, err := m.pageSpan(pa, n)
+	if err != nil {
+		return err
+	}
+	for f := start; f < start+count; f++ {
+		m.pins[f]++
+	}
+	return nil
+}
+
+// Unpin decrements the pin count of every page in [pa, pa+n).
+func (m *Memory) Unpin(pa PAddr, n int64) error {
+	start, count, err := m.pageSpan(pa, n)
+	if err != nil {
+		return err
+	}
+	for f := start; f < start+count; f++ {
+		if m.pins[f] == 0 {
+			return ErrNotPinned
+		}
+	}
+	for f := start; f < start+count; f++ {
+		if m.pins[f]--; m.pins[f] == 0 {
+			delete(m.pins, f)
+		}
+	}
+	return nil
+}
+
+// Pinned reports whether the page containing pa is pinned.
+func (m *Memory) Pinned(pa PAddr) bool {
+	return m.pins[int64(pa)/m.pageSize] > 0
+}
+
+func (m *Memory) pageSpan(pa PAddr, n int64) (start, count int64, err error) {
+	if n <= 0 {
+		return 0, 0, ErrBadSize
+	}
+	start = int64(pa) / m.pageSize
+	end := (int64(pa) + n + m.pageSize - 1) / m.pageSize
+	if int64(pa) < 0 || end > m.totalPages {
+		return 0, 0, ErrBadAddress
+	}
+	return start, end - start, nil
+}
+
+func (m *Memory) frame(f int64) []byte {
+	b := m.frames[f]
+	if b == nil {
+		b = make([]byte, m.pageSize)
+		m.frames[f] = b
+	}
+	return b
+}
+
+// Write copies data into physical memory at pa, which may span pages.
+func (m *Memory) Write(pa PAddr, data []byte) error {
+	if _, _, err := m.pageSpan(pa, int64(len(data))); err != nil {
+		if len(data) == 0 {
+			return nil
+		}
+		return err
+	}
+	total := int64(len(data))
+	addr := int64(pa)
+	for len(data) > 0 {
+		f := addr / m.pageSize
+		off := addr % m.pageSize
+		n := copy(m.frame(f)[off:], data)
+		data = data[n:]
+		addr += int64(n)
+	}
+	m.notifyWatches(pa, total)
+	return nil
+}
+
+// Read copies len(buf) bytes of physical memory at pa into buf.
+func (m *Memory) Read(pa PAddr, buf []byte) error {
+	if _, _, err := m.pageSpan(pa, int64(len(buf))); err != nil {
+		if len(buf) == 0 {
+			return nil
+		}
+		return err
+	}
+	addr := int64(pa)
+	for len(buf) > 0 {
+		f := addr / m.pageSize
+		off := addr % m.pageSize
+		n := copy(buf, m.frame(f)[off:])
+		buf = buf[n:]
+		addr += int64(n)
+	}
+	return nil
+}
+
+// AddressSpace is a per-process virtual address space backed by a page
+// table into one Memory. Virtual mappings need not be physically
+// contiguous.
+type AddressSpace struct {
+	mem    *Memory
+	table  map[int64]int64 // vpage -> frame
+	nextVA int64
+}
+
+// NewAddressSpace returns an empty address space over mem. Virtual
+// addresses start above zero so that 0 can serve as a nil address.
+func NewAddressSpace(mem *Memory) *AddressSpace {
+	return &AddressSpace{mem: mem, table: make(map[int64]int64), nextVA: mem.pageSize}
+}
+
+// Mem returns the underlying physical memory.
+func (as *AddressSpace) Mem() *Memory { return as.mem }
+
+// Map allocates n bytes of (possibly discontiguous) physical memory and
+// maps it at a fresh virtual range, returning the base virtual address.
+func (as *AddressSpace) Map(n int64) (VAddr, error) {
+	if n <= 0 {
+		return 0, ErrBadSize
+	}
+	frames, err := as.mem.AllocPages(n)
+	if err != nil {
+		return 0, err
+	}
+	base := as.nextVA
+	for i, pa := range frames {
+		as.table[(base+int64(i)*as.mem.pageSize)/as.mem.pageSize] = int64(pa) / as.mem.pageSize
+	}
+	as.nextVA = base + int64(len(frames))*as.mem.pageSize
+	return VAddr(base), nil
+}
+
+// Unmap releases the mapping and physical memory of [va, va+n).
+func (as *AddressSpace) Unmap(va VAddr, n int64) error {
+	if n <= 0 {
+		return ErrBadSize
+	}
+	pages := as.mem.pagesFor(n)
+	vp := int64(va) / as.mem.pageSize
+	for i := int64(0); i < pages; i++ {
+		f, ok := as.table[vp+i]
+		if !ok {
+			return ErrBadAddress
+		}
+		if err := as.mem.Free(PAddr(f*as.mem.pageSize), as.mem.pageSize); err != nil {
+			return err
+		}
+		delete(as.table, vp+i)
+	}
+	return nil
+}
+
+// Translate returns the physical address backing va. The translation
+// is only valid to the end of va's page.
+func (as *AddressSpace) Translate(va VAddr) (PAddr, error) {
+	f, ok := as.table[int64(va)/as.mem.pageSize]
+	if !ok {
+		return 0, ErrBadAddress
+	}
+	return PAddr(f*as.mem.pageSize + int64(va)%as.mem.pageSize), nil
+}
+
+// Mapped reports whether va's page is mapped.
+func (as *AddressSpace) Mapped(va VAddr) bool {
+	_, ok := as.table[int64(va)/as.mem.pageSize]
+	return ok
+}
+
+// WriteV copies data into the address space at va, page by page.
+func (as *AddressSpace) WriteV(va VAddr, data []byte) error {
+	for len(data) > 0 {
+		pa, err := as.Translate(va)
+		if err != nil {
+			return err
+		}
+		room := as.mem.pageSize - int64(va)%as.mem.pageSize
+		n := int64(len(data))
+		if n > room {
+			n = room
+		}
+		if err := as.mem.Write(pa, data[:n]); err != nil {
+			return err
+		}
+		data = data[n:]
+		va += VAddr(n)
+	}
+	return nil
+}
+
+// ReadV copies len(buf) bytes from the address space at va into buf.
+func (as *AddressSpace) ReadV(va VAddr, buf []byte) error {
+	for len(buf) > 0 {
+		pa, err := as.Translate(va)
+		if err != nil {
+			return err
+		}
+		room := as.mem.pageSize - int64(va)%as.mem.pageSize
+		n := int64(len(buf))
+		if n > room {
+			n = room
+		}
+		if err := as.mem.Read(pa, buf[:n]); err != nil {
+			return err
+		}
+		buf = buf[n:]
+		va += VAddr(n)
+	}
+	return nil
+}
+
+// String summarizes allocation state for diagnostics.
+func (m *Memory) String() string {
+	return fmt.Sprintf("hostmem{%d/%d pages allocated, %d free ranges, max run %d B}",
+		m.allocated, m.totalPages, len(m.free), m.MaxContiguousRun())
+}

@@ -1,0 +1,308 @@
+package hostmem
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newMem() *Memory { return New(1<<20, 4096) } // 256 pages
+
+func TestAllocContiguousAndFree(t *testing.T) {
+	m := newMem()
+	pa, err := m.AllocContiguous(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(pa)%4096 != 0 {
+		t.Fatalf("pa = %d not page aligned", pa)
+	}
+	if m.AllocatedBytes() != 3*4096 {
+		t.Fatalf("allocated = %d, want 3 pages", m.AllocatedBytes())
+	}
+	if err := m.Free(pa, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if m.AllocatedBytes() != 0 {
+		t.Fatalf("allocated = %d after free, want 0", m.AllocatedBytes())
+	}
+}
+
+func TestAllocBadSize(t *testing.T) {
+	m := newMem()
+	if _, err := m.AllocContiguous(0); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("err = %v, want ErrBadSize", err)
+	}
+	if _, err := m.AllocPages(-5); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("err = %v, want ErrBadSize", err)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	m := newMem()
+	if _, err := m.AllocContiguous(2 << 20); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestFragmentationForcesNoContiguous(t *testing.T) {
+	m := New(16*4096, 4096)
+	var held []PAddr
+	for i := 0; i < 8; i++ {
+		a, err := m.AllocContiguous(2 * 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, a)
+	}
+	// Free every other block: 8 free pages but max run is 2 pages.
+	for i := 0; i < 8; i += 2 {
+		if err := m.Free(held[i], 2*4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.AllocContiguous(4 * 4096); !errors.Is(err, ErrNoContiguous) {
+		t.Fatalf("err = %v, want ErrNoContiguous", err)
+	}
+	if got := m.MaxContiguousRun(); got != 2*4096 {
+		t.Fatalf("max run = %d, want 2 pages", got)
+	}
+	// Non-contiguous allocation still succeeds.
+	if _, err := m.AllocPages(4 * 4096); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeCoalescing(t *testing.T) {
+	m := New(8*4096, 4096)
+	a, _ := m.AllocContiguous(8 * 4096)
+	// Free middle, then left, then right; should coalesce back to one run.
+	if err := m.Free(a+2*4096, 2*4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(a, 2*4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(a+4*4096, 4*4096); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MaxContiguousRun(); got != 8*4096 {
+		t.Fatalf("max run = %d, want full memory", got)
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	m := newMem()
+	a, _ := m.AllocContiguous(4096)
+	if err := m.Free(a, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(a, 4096); !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("err = %v, want ErrDoubleFree", err)
+	}
+}
+
+func TestPinBlocksFree(t *testing.T) {
+	m := newMem()
+	a, _ := m.AllocContiguous(2 * 4096)
+	if err := m.Pin(a, 2*4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(a, 2*4096); !errors.Is(err, ErrPinned) {
+		t.Fatalf("err = %v, want ErrPinned", err)
+	}
+	if err := m.Unpin(a, 2*4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(a, 2*4096); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPinCounts(t *testing.T) {
+	m := newMem()
+	a, _ := m.AllocContiguous(4096)
+	m.Pin(a, 4096)
+	m.Pin(a, 4096)
+	m.Unpin(a, 4096)
+	if !m.Pinned(a) {
+		t.Fatal("page unpinned after one of two unpins")
+	}
+	m.Unpin(a, 4096)
+	if m.Pinned(a) {
+		t.Fatal("page still pinned")
+	}
+	if err := m.Unpin(a, 4096); !errors.Is(err, ErrNotPinned) {
+		t.Fatalf("err = %v, want ErrNotPinned", err)
+	}
+}
+
+func TestReadWriteAcrossPages(t *testing.T) {
+	m := newMem()
+	a, _ := m.AllocContiguous(3 * 4096)
+	data := make([]byte, 9000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := m.Write(a+100, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 9000)
+	if err := m.Read(a+100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read back != written")
+	}
+}
+
+func TestReadWriteBounds(t *testing.T) {
+	m := newMem()
+	buf := make([]byte, 10)
+	if err := m.Read(PAddr(m.TotalBytes()), buf); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("err = %v, want ErrBadAddress", err)
+	}
+	if err := m.Write(PAddr(-1), buf); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("err = %v, want ErrBadAddress", err)
+	}
+	// Zero-length accesses are no-ops even at odd addresses.
+	if err := m.Read(0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressSpaceMapTranslate(t *testing.T) {
+	m := newMem()
+	as := NewAddressSpace(m)
+	va, err := as.Map(3 * 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va == 0 {
+		t.Fatal("va 0 should be reserved")
+	}
+	pa, err := as.Translate(va + 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(pa)%4096 != 5000%4096 {
+		t.Fatalf("translation lost page offset: %d", pa)
+	}
+	if as.Mapped(va + 100*4096) {
+		t.Fatal("unmapped page reported mapped")
+	}
+}
+
+func TestAddressSpaceRWRoundTrip(t *testing.T) {
+	m := newMem()
+	as := NewAddressSpace(m)
+	va, _ := as.Map(5 * 4096)
+	data := make([]byte, 18000)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := as.WriteV(va+123, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := as.ReadV(va+123, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("virtual round trip mismatch")
+	}
+}
+
+func TestAddressSpaceUnmapFreesPhysical(t *testing.T) {
+	m := newMem()
+	as := NewAddressSpace(m)
+	va, _ := as.Map(4 * 4096)
+	before := m.AllocatedBytes()
+	if err := as.Unmap(va, 4*4096); err != nil {
+		t.Fatal(err)
+	}
+	if m.AllocatedBytes() != before-4*4096 {
+		t.Fatalf("allocated = %d, want %d", m.AllocatedBytes(), before-4*4096)
+	}
+	if _, err := as.Translate(va); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("err = %v, want ErrBadAddress after unmap", err)
+	}
+}
+
+// Property: any sequence of allocs and frees conserves pages, and
+// allocated ranges never overlap.
+func TestQuickAllocFreeInvariants(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		m := New(64*4096, 4096)
+		rng := rand.New(rand.NewSource(seed))
+		type alloc struct {
+			pa PAddr
+			n  int64
+		}
+		var live []alloc
+		owned := make(map[int64]bool)
+		for _, op := range ops {
+			if op%2 == 0 || len(live) == 0 {
+				n := int64(op%8+1) * 512 // up to 1 page
+				pa, err := m.AllocContiguous(n)
+				if err != nil {
+					continue
+				}
+				pages := (n + 4095) / 4096
+				for i := int64(0); i < pages; i++ {
+					f := int64(pa)/4096 + i
+					if owned[f] {
+						t.Logf("frame %d double-allocated", f)
+						return false
+					}
+					owned[f] = true
+				}
+				live = append(live, alloc{pa, n})
+			} else {
+				i := rng.Intn(len(live))
+				a := live[i]
+				if err := m.Free(a.pa, a.n); err != nil {
+					t.Logf("free failed: %v", err)
+					return false
+				}
+				pages := (a.n + 4095) / 4096
+				for j := int64(0); j < pages; j++ {
+					delete(owned, int64(a.pa)/4096+j)
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		// Conservation: allocated == sum of live pages.
+		var want int64
+		for _, a := range live {
+			want += (a.n + 4095) / 4096 * 4096
+		}
+		return m.AllocatedBytes() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: data written at any offset reads back identically.
+func TestQuickRWRoundTrip(t *testing.T) {
+	m := New(64*4096, 4096)
+	base, _ := m.AllocContiguous(32 * 4096)
+	f := func(off uint16, data []byte) bool {
+		o := int64(off) % (16 * 4096)
+		if len(data) > 8*4096 {
+			data = data[:8*4096]
+		}
+		if err := m.Write(base+PAddr(o), data); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := m.Read(base+PAddr(o), got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

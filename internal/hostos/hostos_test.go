@@ -1,0 +1,124 @@
+package hostos
+
+import (
+	"testing"
+	"time"
+
+	"lite/internal/params"
+	"lite/internal/simtime"
+)
+
+func TestSyscallChargesCrossings(t *testing.T) {
+	cfg := params.Default()
+	os := New(&cfg)
+	env := simtime.NewEnv()
+	acct := &simtime.CPUAccount{}
+	env.Go("p", func(p *simtime.Proc) {
+		p.SetCPUAccount(acct)
+		ran := false
+		os.Syscall(p, func() { ran = true })
+		if !ran {
+			t.Error("syscall body did not run")
+		}
+		want := 2*cfg.SyscallCrossing + cfg.KernelDispatch
+		if p.Now() != want {
+			t.Errorf("elapsed = %v, want %v", p.Now(), want)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if acct.Busy() != 2*cfg.SyscallCrossing+cfg.KernelDispatch {
+		t.Fatalf("cpu = %v", acct.Busy())
+	}
+}
+
+func TestAdaptiveWaitBusyPhase(t *testing.T) {
+	// Completion arrives inside the poll window: the whole wait is
+	// busy-polled (charged) and no wakeup latency is paid.
+	cfg := params.Default()
+	os := New(&cfg)
+	env := simtime.NewEnv()
+	acct := &simtime.CPUAccount{}
+	page := &CompletionPage{}
+	arrival := cfg.AdaptivePollWindow / 2
+	env.After(arrival, func(e *simtime.Env) { page.Complete(e) })
+	env.Go("waiter", func(p *simtime.Proc) {
+		p.SetCPUAccount(acct)
+		waited := os.AdaptiveWait(p, page)
+		if waited != arrival {
+			t.Errorf("waited = %v, want %v", waited, arrival)
+		}
+		if p.Now() != arrival {
+			t.Errorf("now = %v, want %v (no wakeup latency in busy phase)", p.Now(), arrival)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if acct.Busy() != arrival {
+		t.Fatalf("cpu = %v, want %v (busy phase fully charged)", acct.Busy(), arrival)
+	}
+}
+
+func TestAdaptiveWaitSleepPhase(t *testing.T) {
+	// Completion arrives long after the window: only the window is
+	// charged, the sleep is free, and one wakeup latency is paid.
+	cfg := params.Default()
+	os := New(&cfg)
+	env := simtime.NewEnv()
+	acct := &simtime.CPUAccount{}
+	page := &CompletionPage{}
+	arrival := 200 * time.Microsecond
+	env.After(arrival, func(e *simtime.Env) { page.Complete(e) })
+	env.Go("waiter", func(p *simtime.Proc) {
+		p.SetCPUAccount(acct)
+		os.AdaptiveWait(p, page)
+		if p.Now() != arrival+cfg.WakeupLatency {
+			t.Errorf("now = %v, want %v", p.Now(), arrival+cfg.WakeupLatency)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.AdaptivePollWindow + cfg.WakeupLatency
+	if acct.Busy() != want {
+		t.Fatalf("cpu = %v, want %v (only window + wakeup charged)", acct.Busy(), want)
+	}
+}
+
+func TestAdaptiveWaitAlreadyReady(t *testing.T) {
+	cfg := params.Default()
+	os := New(&cfg)
+	env := simtime.NewEnv()
+	page := &CompletionPage{}
+	env.Go("p", func(p *simtime.Proc) {
+		page.Complete(p.Env())
+		if d := os.AdaptiveWait(p, page); d != 0 {
+			t.Errorf("waited %v on ready page", d)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusyWaitChargesEverything(t *testing.T) {
+	cfg := params.Default()
+	os := New(&cfg)
+	env := simtime.NewEnv()
+	acct := &simtime.CPUAccount{}
+	page := &CompletionPage{}
+	arrival := 50 * time.Microsecond
+	env.After(arrival, func(e *simtime.Env) { page.Complete(e) })
+	env.Go("spinner", func(p *simtime.Proc) {
+		p.SetCPUAccount(acct)
+		os.BusyWait(p, page)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if acct.Busy() != arrival {
+		t.Fatalf("cpu = %v, want %v", acct.Busy(), arrival)
+	}
+}

@@ -1,0 +1,12 @@
+package lite
+
+import "lite/internal/simtime"
+
+// RPCT is RPC with an explicit reply timeout; zero means wait forever.
+// Long-running application tasks (MapReduce phases, graph supersteps)
+// use it so legitimate long executions are not cut off by the default
+// transport timeout.
+func (c *Client) RPCT(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, timeout simtime.Time) ([]byte, error) {
+	c.enter(p)
+	return c.inst.rpcInternalT(p, dst, fn, input, maxReply, c.pri, timeout)
+}

@@ -1,0 +1,371 @@
+// Package lite implements LITE, the Local Indirection TiEr for RDMA of
+// Tsai & Zhang (SOSP'17), on the simulated substrate: a kernel-space
+// indirection layer that virtualizes native RDMA behind a flexible,
+// high-level abstraction (LMRs named by application-chosen names and
+// accessed through opaque handles), manages and shares all RDMA
+// resources across applications, and preserves native RDMA's latency.
+//
+// The package mirrors the paper's structure:
+//
+//   - the RDMA stack (§4): LT_malloc/LT_free/LT_map/LT_unmap, LT_read/
+//     LT_write and the memory-like operations, all built on one global
+//     physical-address memory registration per node so the NIC needs
+//     neither per-region keys nor page-table entries;
+//   - the RPC stack (§5): write-imm based RPC over per-(client,function)
+//     ring buffers, a single shared receive-CQ polling thread per node,
+//     and the shared-completion-page syscall optimizations;
+//   - resource sharing and QoS (§6): K×N shared queue pairs per node and
+//     the HW-Sep / SW-Pri isolation policies;
+//   - extended functionality (§7): memory-like operations implemented on
+//     RPC, and synchronization primitives (locks, barriers, atomics).
+package lite
+
+import (
+	"errors"
+	"fmt"
+
+	"lite/internal/cluster"
+	"lite/internal/hostmem"
+	"lite/internal/hostos"
+	"lite/internal/params"
+	"lite/internal/rnic"
+	"lite/internal/simtime"
+	"lite/internal/verbs"
+)
+
+// Errors returned by LITE operations.
+var (
+	ErrNoSuchName   = errors.New("lite: no LMR registered under that name")
+	ErrNameTaken    = errors.New("lite: name already registered")
+	ErrBadHandle    = errors.New("lite: invalid or revoked lh")
+	ErrPermission   = errors.New("lite: permission denied")
+	ErrBounds       = errors.New("lite: access outside LMR")
+	ErrNotMaster    = errors.New("lite: operation requires the master role")
+	ErrFreed        = errors.New("lite: LMR has been freed")
+	ErrTimeout      = errors.New("lite: operation timed out")
+	ErrNoSuchRPC    = errors.New("lite: no RPC function with that ID")
+	ErrRemoteFailed = errors.New("lite: remote operation failed")
+)
+
+// Options configures a LITE deployment.
+type Options struct {
+	// QPsPerPair is K in the paper's K×N queue-pair budget (§6.1).
+	QPsPerPair int
+	// RingBytes is the size of each RPC ring buffer LMR (§5.1 uses
+	// 16 MB; the default is smaller to fit many bindings).
+	RingBytes int64
+	// ScratchBytes is the per-node scratch arena used for response
+	// buffers and internal operations.
+	ScratchBytes int64
+	// RPCTimeout bounds LT_RPC waiting for a reply.
+	RPCTimeout simtime.Time
+	// ManagerNode hosts the cluster name directory (§3.3).
+	ManagerNode int
+	// RecvBatch is how many zero-byte IMM receive buffers the
+	// background reposter keeps posted per node.
+	RecvBatch int
+	// MaxChunkBytes is the largest physically contiguous piece LITE
+	// allocates for an LMR; larger LMRs are spread over multiple
+	// chunks to avoid external fragmentation (§4.1). The paper found
+	// the chunked layout costs under 2% versus one huge region.
+	MaxChunkBytes int64
+}
+
+// DefaultOptions returns the standard deployment configuration.
+func DefaultOptions() Options {
+	return Options{
+		QPsPerPair:    2,
+		RingBytes:     1 << 20,
+		ScratchBytes:  64 << 20,
+		RPCTimeout:    10 * 1000 * 1000, // 10ms
+		ManagerNode:   0,
+		RecvBatch:     512,
+		MaxChunkBytes: 4 << 20,
+	}
+}
+
+// Instance is one node's LITE kernel module.
+type Instance struct {
+	cls  *cluster.Cluster
+	node *cluster.Node
+	opts Options
+	cfg  *params.Config
+	dep  *Deployment
+
+	ctx      *verbs.Context
+	globalMR *rnic.MR
+
+	// Shared queue pairs: qps[remote][k]; nil for the local node.
+	qps      [][]*rnic.QP
+	qpSlots  [][]*simtime.Semaphore // per-QP outstanding-op budget
+	nextQP   []int
+	sendCQ   *rnic.CQ
+	sendDisp *verbs.Dispatcher
+	recvCQ   *rnic.CQ
+
+	scratch scratchRing
+	nextWR  uint64
+
+	// LMR state (lmr.go).
+	lhs      map[uint64]*lhEntry
+	nextLH   uint64
+	localLMR map[uint64]*lmrState // LMRs homed (at least partly) here
+
+	// RPC state (rpc.go).
+	funcs     map[int]*rpcFunc
+	bindings  map[bindKey]*binding
+	bindSetup map[bindKey]*bindSetup
+	srvRings  map[bindKey]*srvRing
+	pending   map[uint32]*pendingCall
+	nextToken uint32
+	headUpd   *simtime.Chan[headUpdate]
+	msgQueue  []Message
+	msgCond   simtime.Cond
+	sysQueue  []*rpcFunc
+	sysCond   simtime.Cond
+
+	// Sync state (sync.go).
+	locks map[uint64]*lockState
+
+	// QoS state (qos.go).
+	qos qosState
+
+	// Diagnostics.
+	PollerCPU simtime.Time
+}
+
+// Deployment is a LITE cluster: one Instance per node plus the global
+// name directory hosted at the manager node.
+type Deployment struct {
+	Cluster   *cluster.Cluster
+	Instances []*Instance
+	opts      Options
+
+	// directory is the manager-node name service (§3.3). Lookups from
+	// other nodes pay an RPC round trip to the manager.
+	directory map[string]*lmrState
+	nextLMRID uint64
+	barriers  map[uint64]*barrierState
+	qsig      qosSignals
+}
+
+// Start boots LITE on every node of the cluster: it registers the
+// global physical-address MR on each NIC, builds the shared K×N queue
+// pair mesh, and starts each node's shared polling thread and
+// background header-update thread.
+func Start(cls *cluster.Cluster, opts Options) (*Deployment, error) {
+	if opts.QPsPerPair < 1 {
+		return nil, fmt.Errorf("lite: QPsPerPair must be >= 1")
+	}
+	dep := &Deployment{
+		Cluster:   cls,
+		opts:      opts,
+		directory: make(map[string]*lmrState),
+		barriers:  make(map[uint64]*barrierState),
+	}
+	n := len(cls.Nodes)
+	for _, nd := range cls.Nodes {
+		inst := &Instance{
+			cls:      cls,
+			node:     nd,
+			opts:     opts,
+			cfg:      cls.Cfg,
+			dep:      dep,
+			ctx:      verbs.Open(nd.NIC, nd.KernelAS),
+			qps:      make([][]*rnic.QP, n),
+			qpSlots:  make([][]*simtime.Semaphore, n),
+			nextQP:   make([]int, n),
+			lhs:      make(map[uint64]*lhEntry),
+			nextLH:   1,
+			localLMR: make(map[uint64]*lmrState),
+			funcs:    make(map[int]*rpcFunc),
+			bindings: make(map[bindKey]*binding),
+			srvRings: make(map[bindKey]*srvRing),
+			pending:  make(map[uint32]*pendingCall),
+			headUpd:  simtime.NewChan[headUpdate](4096),
+			locks:    make(map[uint64]*lockState),
+		}
+		inst.qos.init(opts.QPsPerPair, &dep.qsig)
+		// One global MR per node covering all of physical memory,
+		// registered with physical addresses (§4.1): one lkey/rkey, no
+		// PTEs on the NIC, no pinning pass.
+		mr, err := nd.NIC.RegisterPhysMR(nd.KernelAS, 0, nd.Mem.TotalBytes(), rnic.PermRead|rnic.PermWrite|rnic.PermAtomic)
+		if err != nil {
+			return nil, err
+		}
+		inst.globalMR = mr
+		inst.sendCQ = nd.NIC.CreateCQ()
+		inst.sendDisp = verbs.NewDispatcher(inst.sendCQ)
+		inst.recvCQ = nd.NIC.CreateCQ()
+		if err := inst.initScratch(); err != nil {
+			return nil, err
+		}
+		dep.Instances = append(dep.Instances, inst)
+	}
+	// Shared QP mesh: K QPs per node pair, all completing into the
+	// owning node's single shared send CQ / receive CQ.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := dep.Instances[i], dep.Instances[j]
+			for k := 0; k < opts.QPsPerPair; k++ {
+				qa := a.node.NIC.CreateQP(rnic.RC, a.sendCQ, a.recvCQ)
+				qb := b.node.NIC.CreateQP(rnic.RC, b.sendCQ, b.recvCQ)
+				qa.Connect(j, qb.QPN())
+				qb.Connect(i, qa.QPN())
+				a.qps[j] = append(a.qps[j], qa)
+				b.qps[i] = append(b.qps[i], qb)
+				a.qpSlots[j] = append(a.qpSlots[j], simtime.NewSemaphore(qpDepth))
+				b.qpSlots[i] = append(b.qpSlots[i], simtime.NewSemaphore(qpDepth))
+			}
+		}
+	}
+	// Control rings for internal RPC (binding setup, naming, memory
+	// ops, locking) are established as part of cluster bootstrap.
+	for _, inst := range dep.Instances {
+		inst.registerSystemFuncs()
+	}
+	for _, inst := range dep.Instances {
+		for _, other := range dep.Instances {
+			if other != inst {
+				if err := inst.setupBinding(other.node.ID, funcControl); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Per-node daemons: shared poller, IMM-buffer reposter (folded into
+	// the poller), header-update sender, and system RPC workers.
+	for _, inst := range dep.Instances {
+		inst.topUpRecvs()
+		i := inst
+		cls.GoDaemonOn(i.node.ID, "lite-poller", i.pollerLoop)
+		cls.GoDaemonOn(i.node.ID, "lite-headupd", i.headUpdateLoop)
+		for w := 0; w < systemWorkers; w++ {
+			cls.GoDaemonOn(i.node.ID, "lite-sys", i.systemWorkerLoop)
+		}
+	}
+	return dep, nil
+}
+
+// qpDepth bounds outstanding operations per shared QP; it is what
+// makes HW-Sep QP reservation an actual resource partition.
+const qpDepth = 16
+
+// systemWorkers is the number of kernel worker threads per node that
+// execute LITE-internal RPC handlers.
+const systemWorkers = 4
+
+// Instance accessors.
+
+// NodeID returns the node this instance runs on.
+func (i *Instance) NodeID() int { return i.node.ID }
+
+// Deployment returns the owning deployment.
+func (i *Instance) Deployment() *Deployment { return i.dep }
+
+// QPCount returns the number of shared queue pairs this node holds
+// (the paper's K×N; §6.1).
+func (i *Instance) QPCount() int {
+	c := 0
+	for _, qs := range i.qps {
+		c += len(qs)
+	}
+	return c
+}
+
+// OS returns the node's OS boundary.
+func (i *Instance) OS() *hostos.OS { return i.node.OS }
+
+// Instance returns the deployment's instance at the given node.
+func (d *Deployment) Instance(node int) *Instance { return d.Instances[node] }
+
+// wrID returns a fresh work-request id.
+func (i *Instance) wrID() uint64 {
+	i.nextWR++
+	return i.nextWR
+}
+
+// pickQP selects a shared QP to the destination honoring the QoS mode,
+// acquires one outstanding-op slot on it, and returns a release func.
+func (i *Instance) pickQP(p *simtime.Proc, dst int, pri Priority) (*rnic.QP, func()) {
+	lo, hi := i.qos.qpRange(pri, len(i.qps[dst]))
+	k := lo + i.nextQP[dst]%(hi-lo)
+	i.nextQP[dst]++
+	qp := i.qps[dst][k]
+	slot := i.qpSlots[dst][k]
+	slot.Acquire(p)
+	env := i.cls.Env
+	return qp, func() { slot.Release(env) }
+}
+
+// scratchRing is a bump allocator over a contiguous kernel arena used
+// for response buffers and internal staging. Allocations are 64-byte
+// aligned and the ring is large enough that in-flight operations never
+// collide with the wrap.
+type scratchRing struct {
+	base hostmem.PAddr
+	size int64
+	next int64
+}
+
+func (i *Instance) initScratch() error {
+	pa, err := i.node.Mem.AllocContiguous(i.opts.ScratchBytes)
+	if err != nil {
+		return err
+	}
+	i.scratch = scratchRing{base: pa, size: i.opts.ScratchBytes}
+	return nil
+}
+
+func (s *scratchRing) alloc(n int64) hostmem.PAddr {
+	n = (n + 63) &^ 63
+	if s.next+n > s.size {
+		s.next = 0
+	}
+	pa := s.base + hostmem.PAddr(s.next)
+	s.next += n
+	return pa
+}
+
+// adaptiveWait blocks until ready() holds, using LITE's adaptive
+// thread model: busy-check (CPU charged) for the configured window,
+// then sleep and pay one wakeup. It returns false if the deadline (if
+// nonzero) passed first.
+func (i *Instance) adaptiveWait(p *simtime.Proc, cond *simtime.Cond, ready func() bool, deadline simtime.Time) bool {
+	if ready() {
+		return true
+	}
+	busyUntil := p.Now() + i.cfg.AdaptivePollWindow
+	for !ready() && p.Now() < busyUntil {
+		if deadline > 0 && p.Now() >= deadline {
+			return false
+		}
+		limit := busyUntil
+		if deadline > 0 && deadline < limit {
+			limit = deadline
+		}
+		t0 := p.Now()
+		cond.WaitTimeout(p, limit-p.Now())
+		p.CPUAccount().Charge(p.Now() - t0)
+	}
+	if ready() {
+		return true
+	}
+	for !ready() {
+		if deadline > 0 {
+			if p.Now() >= deadline {
+				return false
+			}
+			cond.WaitTimeout(p, deadline-p.Now())
+		} else {
+			cond.Wait(p)
+		}
+	}
+	p.Work(i.cfg.WakeupLatency)
+	return true
+}
+
+// memcpyCost charges the calling thread for an n-byte host memory copy.
+func (i *Instance) memcpyCost(p *simtime.Proc, n int64) {
+	p.Work(params.TransferTime(n, i.cfg.MemcpyBandwidth))
+}

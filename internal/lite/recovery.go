@@ -1,0 +1,58 @@
+package lite
+
+import "lite/internal/simtime"
+
+// The paper's cluster manager "can run on one node or a
+// high-availability node pair, and all the states it maintains can be
+// easily reconstructed upon failure restart" (§3.3). This file
+// implements that reconstruction: after the manager loses its name
+// directory, every node republishes the named LMRs it masters.
+
+// CrashManagerDirectory simulates a manager restart that lost the name
+// directory (LMR data and per-node lh state survive — only the
+// manager's soft state is gone).
+func (d *Deployment) CrashManagerDirectory() {
+	d.directory = make(map[string]*lmrState)
+}
+
+// ReRegisterNames republishes every named, live LMR mastered by this
+// node with the manager directory, paying one registration RPC per
+// name for remote nodes. It is idempotent: names already present are
+// left as is.
+func (i *Instance) ReRegisterNames(p *simtime.Proc) error {
+	for _, ls := range i.localLMR {
+		if ls.name == "" || ls.freed || !ls.masters[i.node.ID] {
+			continue
+		}
+		if _, ok := i.dep.directory[ls.name]; ok {
+			continue
+		}
+		if err := i.registerName(p, ls, PriHigh); err != nil && err != ErrNameTaken {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecoverManagerDirectory drives the full recovery: every node
+// republishes its names. Call it from one process per node is the
+// faithful protocol; this helper spawns those processes and waits.
+func (d *Deployment) RecoverManagerDirectory(p *simtime.Proc) error {
+	errs := make([]error, len(d.Instances))
+	var wg simtime.WaitGroup
+	wg.Add(len(d.Instances))
+	for k, inst := range d.Instances {
+		k, inst := k, inst
+		d.Cluster.GoOn(inst.node.ID, "lite-recover", func(q *simtime.Proc) {
+			defer wg.Done(q.Env())
+			errs[k] = inst.ReRegisterNames(q)
+		})
+	}
+	wg.Wait(p)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package lite
+
+import (
+	"testing"
+	"time"
+
+	"lite/internal/simtime"
+)
+
+func TestManagerDirectoryRecovery(t *testing.T) {
+	cls, dep := testDep(t, 3)
+	phase := 0
+	var cond simtime.Cond
+	bump := func(p *simtime.Proc) { phase++; cond.Broadcast(p.Env()) }
+	wait := func(p *simtime.Proc, n int) {
+		for phase < n {
+			cond.Wait(p)
+		}
+	}
+	cls.GoOn(1, "owner", func(p *simtime.Proc) {
+		c := dep.Instance(1).KernelClient()
+		h, err := c.Malloc(p, 4096, "survivor", PermRead|PermWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Write(p, h, 0, []byte("persisted")); err != nil {
+			t.Fatal(err)
+		}
+		// Anonymous LMRs and foreign-mastered names must not confuse
+		// recovery.
+		if _, err := c.Malloc(p, 4096, "", PermRead); err != nil {
+			t.Fatal(err)
+		}
+		bump(p)
+		wait(p, 2)
+		// The manager lost its directory; recovery republishes names.
+		if err := dep.RecoverManagerDirectory(p); err != nil {
+			t.Fatal(err)
+		}
+		bump(p)
+	})
+	cls.GoOn(2, "mapper", func(p *simtime.Proc) {
+		wait(p, 1)
+		c := dep.Instance(2).KernelClient()
+		if _, err := c.Map(p, "survivor"); err != nil {
+			t.Fatalf("map before crash: %v", err)
+		}
+		dep.CrashManagerDirectory()
+		if _, err := c.Map(p, "survivor"); err != ErrNoSuchName {
+			t.Fatalf("map after crash err = %v, want ErrNoSuchName", err)
+		}
+		bump(p)
+		wait(p, 3)
+		h, err := c.Map(p, "survivor")
+		if err != nil {
+			t.Fatalf("map after recovery: %v", err)
+		}
+		got := make([]byte, 9)
+		if err := c.Read(p, h, 0, got); err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "persisted" {
+			t.Fatalf("data after recovery = %q", got)
+		}
+	})
+	run(t, cls)
+}
+
+func TestReRegisterNamesIdempotent(t *testing.T) {
+	cls, dep := testDep(t, 2)
+	cls.GoOn(1, "owner", func(p *simtime.Proc) {
+		c := dep.Instance(1).KernelClient()
+		if _, err := c.Malloc(p, 4096, "idem", PermRead); err != nil {
+			t.Fatal(err)
+		}
+		// Without a crash, recovery must be a no-op.
+		if err := dep.Instance(1).ReRegisterNames(p); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(10 * time.Microsecond)
+		if _, err := c.Map(p, "idem"); err != nil {
+			t.Fatalf("name lost by idempotent re-register: %v", err)
+		}
+	})
+	run(t, cls)
+}
+
+// The simulation is deterministic: the same workload produces the same
+// virtual timeline, bit for bit.
+func TestDeterministicReplay(t *testing.T) {
+	runOnce := func() simtime.Time {
+		cls, dep := testDep(t, 3)
+		startEchoServerN(cls, dep, 2)
+		cls.GoOn(0, "client", func(p *simtime.Proc) {
+			c := dep.Instance(0).KernelClient()
+			h, _ := c.MallocAt(p, []int{1}, 1<<20, "det", PermRead|PermWrite)
+			buf := make([]byte, 4096)
+			for i := 0; i < 40; i++ {
+				_ = c.Write(p, h, int64(i)*4096, buf)
+				if _, err := c.RPC(p, 2, echoFn, buf[:64], 128); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		run(t, cls)
+		return cls.Env.Now()
+	}
+	first := runOnce()
+	for i := 0; i < 3; i++ {
+		if again := runOnce(); again != first {
+			t.Fatalf("run %d ended at %v, first at %v", i, again, first)
+		}
+	}
+}

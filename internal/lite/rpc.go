@@ -1,0 +1,649 @@
+package lite
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"lite/internal/hostmem"
+	"lite/internal/rnic"
+	"lite/internal/simtime"
+)
+
+// Reserved RPC function IDs. User functions must use FirstUserFunc and
+// above.
+const (
+	funcControl = 0 // binding setup, naming, memory ops
+	funcMsg     = 1 // LT_send messaging
+	funcLock    = 2 // distributed lock protocol
+	funcBarrier = 3 // distributed barrier
+
+	// FirstUserFunc is the lowest RPC function ID available to
+	// applications.
+	FirstUserFunc = 16
+)
+
+// IMM value encoding: [4b tag][5b func][23b offset-or-delta/8].
+// Function IDs are limited to 32 and ring offsets to 64 MB with 8-byte
+// slot alignment (the fine alignment is what makes LITE's rings
+// space-efficient in Figure 12).
+const (
+	tagRPCReq  = 1
+	tagRPCRep  = 2
+	tagHeadUpd = 3
+
+	// MaxFunc is the exclusive upper bound on RPC function IDs.
+	MaxFunc = 32
+
+	ringAlign = 8
+)
+
+func encodeImm(tag, fn int, v int64) uint32 {
+	return uint32(tag)<<28 | uint32(fn&0x1f)<<23 | uint32((v/ringAlign)&0x7fffff)
+}
+
+func decodeImm(imm uint32) (tag, fn int, v int64) {
+	return int(imm >> 28), int(imm >> 23 & 0x1f), int64(imm&0x7fffff) * ringAlign
+}
+
+func encodeReplyImm(token uint32) uint32 { return uint32(tagRPCRep)<<28 | token&0x0fffffff }
+
+// Ring message header layout (all little endian):
+//
+//	[0:4]   total payload length (header + input), pre-alignment
+//	[4:8]   reply token
+//	[8:16]  reply physical address on the caller's node
+//	[16:20] input length
+//	[20:..] input bytes
+const ringHdr = 20
+
+// bindKey identifies an RPC binding: a (peer node, function) pair.
+type bindKey struct {
+	node int
+	fn   int
+}
+
+// binding is the client-side state of an RPC binding: a ring buffer
+// LMR at the server written with write-imm. The client manages the
+// tail; the server sends back head updates from a background thread
+// (§5.1).
+type binding struct {
+	dst      int
+	fn       int
+	ringPA   hostmem.PAddr
+	ringSize int64
+	tail     int64 // monotonic bytes written (incl. wrap padding)
+	head     int64 // monotonic bytes the server reported consumed
+	space    simtime.Cond
+}
+
+// srvRing is the server-side state of a binding.
+type srvRing struct {
+	client    int
+	fn        int
+	pa        hostmem.PAddr
+	size      int64
+	headLocal int64 // monotonic bytes consumed (incl. wrap padding)
+}
+
+// rpcFunc is a registered RPC function. Application functions queue
+// calls for LT_recvRPC; system functions carry a handler executed by
+// the kernel worker pool.
+type rpcFunc struct {
+	id      int
+	queue   []*Call
+	cond    simtime.Cond
+	handler func(p *simtime.Proc, c *Call)
+}
+
+// Call is a received RPC call. The server thread must reply exactly
+// once with ReplyRPC (possibly later, from another thread).
+type Call struct {
+	Func    int
+	Src     int
+	Input   []byte
+	token   uint32
+	replyPA hostmem.PAddr
+
+	// headDelta is the ring credit returned to the client when the
+	// call is consumed.
+	headDelta int64
+
+	// Node-local fast path.
+	local      bool
+	pend       *pendingCall
+	localReply []byte
+}
+
+// pendingCall tracks an outstanding LT_RPC at the client.
+type pendingCall struct {
+	cond    simtime.Cond
+	done    bool
+	respPA  hostmem.PAddr
+	respLen int64
+}
+
+// headUpdate is queued to the background header-update thread.
+type headUpdate struct {
+	client int
+	fn     int
+	delta  int64
+}
+
+// Message is a unidirectional LT_send message.
+type Message struct {
+	Src  int
+	Data []byte
+}
+
+// RegisterRPC registers an application RPC function ID on this node so
+// clients can bind to it and server threads can LT_recvRPC on it.
+func (i *Instance) RegisterRPC(id int) error {
+	if id < FirstUserFunc || id >= MaxFunc {
+		return fmt.Errorf("lite: function ids must be in [%d, %d)", FirstUserFunc, MaxFunc)
+	}
+	if _, ok := i.funcs[id]; ok {
+		return fmt.Errorf("lite: RPC function %d already registered", id)
+	}
+	i.funcs[id] = &rpcFunc{id: id}
+	return nil
+}
+
+func (i *Instance) registerSystemFuncs() {
+	i.funcs[funcControl] = &rpcFunc{id: funcControl, handler: i.handleControl}
+	i.funcs[funcMsg] = &rpcFunc{id: funcMsg}
+	i.funcs[funcLock] = &rpcFunc{id: funcLock, handler: i.handleLock}
+	i.funcs[funcBarrier] = &rpcFunc{id: funcBarrier, handler: i.handleBarrier}
+}
+
+// setupBinding establishes the client-side ring for (dst, fn). The
+// control binding is built directly at bootstrap by the cluster
+// manager; all other bindings are negotiated over the control binding.
+func (i *Instance) setupBinding(dst, fn int) error {
+	key := bindKey{dst, fn}
+	if _, ok := i.bindings[key]; ok {
+		return nil
+	}
+	if fn != funcControl {
+		return fmt.Errorf("lite: setupBinding(%d) at boot is control-only", fn)
+	}
+	remote := i.dep.Instances[dst]
+	pa, err := remote.node.Mem.AllocContiguous(i.opts.RingBytes)
+	if err != nil {
+		return err
+	}
+	i.bindings[key] = &binding{dst: dst, fn: fn, ringPA: pa, ringSize: i.opts.RingBytes}
+	remote.srvRings[bindKey{i.node.ID, fn}] = &srvRing{client: i.node.ID, fn: fn, pa: pa, size: i.opts.RingBytes}
+	return nil
+}
+
+// getBinding returns the binding for (dst, fn), negotiating a new ring
+// over the control channel on first use. Setup is single-flight: all
+// concurrent first users share the one ring (clients of a binding
+// share the tail pointer, so two independent bindings to one ring
+// would clobber each other's frames).
+func (i *Instance) getBinding(p *simtime.Proc, dst, fn int, pri Priority) (*binding, error) {
+	key := bindKey{dst, fn}
+	if b, ok := i.bindings[key]; ok {
+		return b, nil
+	}
+	if st, ok := i.bindSetup[key]; ok {
+		for !st.done {
+			st.cond.Wait(p)
+		}
+		if st.err != nil {
+			return nil, st.err
+		}
+		return i.bindings[key], nil
+	}
+	st := &bindSetup{}
+	if i.bindSetup == nil {
+		i.bindSetup = make(map[bindKey]*bindSetup)
+	}
+	i.bindSetup[key] = st
+	pa, size, err := i.ctlBind(p, dst, fn, pri)
+	if err == nil {
+		i.bindings[key] = &binding{dst: dst, fn: fn, ringPA: pa, ringSize: size}
+	}
+	st.err = err
+	st.done = true
+	st.cond.Broadcast(p.Env())
+	delete(i.bindSetup, key)
+	if err != nil {
+		return nil, err
+	}
+	return i.bindings[key], nil
+}
+
+// bindSetup tracks an in-flight binding negotiation.
+type bindSetup struct {
+	done bool
+	err  error
+	cond simtime.Cond
+}
+
+func (i *Instance) token() uint32 {
+	i.nextToken = (i.nextToken + 1) & 0x0fffffff
+	if i.nextToken == 0 {
+		i.nextToken = 1
+	}
+	return i.nextToken
+}
+
+// reserveRing claims space for a message of the given aligned size in
+// the ring, waiting for head updates if the ring is full, and returns
+// the ring offset to write at. It accounts wrap padding.
+func (b *binding) reserveRing(p *simtime.Proc, need int64) int64 {
+	for {
+		// Pad to the ring start if the message would wrap.
+		pad := int64(0)
+		if off := b.tail % b.ringSize; off+need > b.ringSize {
+			pad = b.ringSize - off
+		}
+		if b.tail+pad+need-b.head <= b.ringSize {
+			b.tail += pad
+			off := b.tail % b.ringSize
+			b.tail += need
+			return off
+		}
+		b.space.Wait(p)
+	}
+}
+
+// postToRing writes a framed message into the binding's ring at the
+// server with one unsignaled write-imm (§5.1: the sending state is
+// never polled; reply or timeout detects failure).
+func (i *Instance) postToRing(p *simtime.Proc, b *binding, fn int, token uint32, replyPA hostmem.PAddr, input []byte, pri Priority) error {
+	need := int64(ringHdr + len(input))
+	aligned := (need + ringAlign - 1) &^ (ringAlign - 1)
+	off := b.reserveRing(p, aligned)
+
+	msg := make([]byte, need)
+	binary.LittleEndian.PutUint32(msg[0:], uint32(need))
+	binary.LittleEndian.PutUint32(msg[4:], token)
+	binary.LittleEndian.PutUint64(msg[8:], uint64(replyPA))
+	binary.LittleEndian.PutUint32(msg[16:], uint32(len(input)))
+	copy(msg[ringHdr:], input)
+
+	i.qos.throttle(p, pri, need)
+	qp, release := i.pickQP(p, b.dst, pri)
+	p.Work(i.cfg.NICDoorbell)
+	err := i.node.NIC.PostSend(p.Now(), qp, rnic.WR{
+		Kind:      rnic.OpWriteImm,
+		WRID:      i.wrID(),
+		Signaled:  false,
+		LocalBuf:  msg,
+		Len:       need,
+		RemoteKey: i.dep.Instances[b.dst].globalMR.Key(),
+		RemoteOff: int64(b.ringPA) + off,
+		Imm:       encodeImm(tagRPCReq, fn, off),
+	})
+	release()
+	return err
+}
+
+// rpcInternal implements LT_RPC: write-imm the input into the server's
+// ring, then wait (adaptively) for the reply write-imm that lands
+// directly in this node's response buffer.
+func (i *Instance) rpcInternal(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority) ([]byte, error) {
+	return i.rpcInternalT(p, dst, fn, input, maxReply, pri, i.opts.RPCTimeout)
+}
+
+// rpcInternalT is rpcInternal with an explicit timeout; a zero timeout
+// means wait forever (used by locks and barriers, whose replies are
+// intentionally withheld until the event occurs).
+func (i *Instance) rpcInternalT(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time) ([]byte, error) {
+	p.Work(i.cfg.LITECheck)
+	if dst == i.node.ID {
+		return i.rpcLocal(p, fn, input, timeout)
+	}
+	b, err := i.getBinding(p, dst, fn, pri)
+	if err != nil {
+		return nil, err
+	}
+	token := i.token()
+	respPA := i.scratch.alloc(maxReply)
+	pc := &pendingCall{respPA: respPA}
+	i.pending[token] = pc
+
+	if err := i.postToRing(p, b, fn, token, respPA, input, pri); err != nil {
+		delete(i.pending, token)
+		return nil, err
+	}
+	var deadline simtime.Time
+	if timeout > 0 {
+		deadline = p.Now() + timeout
+	}
+	if !i.adaptiveWait(p, &pc.cond, func() bool { return pc.done }, deadline) {
+		delete(i.pending, token)
+		return nil, ErrTimeout
+	}
+	if pc.respLen > maxReply {
+		pc.respLen = maxReply
+	}
+	// The NIC wrote the reply directly into this buffer (zero copy at
+	// the client side); materialize it for the caller.
+	out := make([]byte, pc.respLen)
+	if err := i.node.Mem.Read(respPA, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// rpcLocal dispatches an RPC whose server is this node without
+// touching the network.
+func (i *Instance) rpcLocal(p *simtime.Proc, fn int, input []byte, timeout simtime.Time) ([]byte, error) {
+	f, ok := i.funcs[fn]
+	if !ok {
+		return nil, ErrNoSuchRPC
+	}
+	pc := &pendingCall{}
+	call := &Call{Func: fn, Src: i.node.ID, Input: append([]byte(nil), input...), local: true, pend: pc}
+	i.memcpyCost(p, int64(len(input)))
+	i.dispatchCall(f, call)
+	var deadline simtime.Time
+	if timeout > 0 {
+		deadline = p.Now() + timeout
+	}
+	if !i.adaptiveWait(p, &pc.cond, func() bool { return pc.done }, deadline) {
+		return nil, ErrTimeout
+	}
+	return call.localReply, nil
+}
+
+func (i *Instance) dispatchCall(f *rpcFunc, call *Call) {
+	f.queue = append(f.queue, call)
+	if f.handler != nil {
+		i.sysQueue = append(i.sysQueue, f)
+		i.sysCond.Signal(i.cls.Env)
+	} else {
+		f.cond.Signal(i.cls.Env)
+	}
+}
+
+// recvRPCInternal implements LT_recvRPC: wait (adaptively) for the
+// next call to the function and return it, paying the single data move
+// from the ring into the caller's memory (§5.2).
+func (i *Instance) recvRPCInternal(p *simtime.Proc, fn int) (*Call, error) {
+	f, ok := i.funcs[fn]
+	if !ok {
+		return nil, ErrNoSuchRPC
+	}
+	var call *Call
+	for call == nil {
+		if !i.adaptiveWait(p, &f.cond, func() bool { return len(f.queue) > 0 }, 0) {
+			return nil, ErrTimeout
+		}
+		if len(f.queue) == 0 {
+			continue // another server thread took it during our wakeup
+		}
+		call = f.queue[0]
+		f.queue = f.queue[1:]
+	}
+	i.memcpyCost(p, int64(len(call.Input)))
+	if !call.local {
+		// Advance the ring header; the new value ships from the
+		// background thread (Figure 9, step f).
+		i.queueHeadUpdate(p, call.Src, call.Func, call.headDelta)
+	}
+	return call, nil
+}
+
+// replyRPCInternal implements LT_replyRPC: write-imm the return value
+// directly into the client's response buffer.
+func (i *Instance) replyRPCInternal(p *simtime.Proc, c *Call, output []byte, pri Priority) error {
+	p.Work(i.cfg.LITECheck)
+	if c.local {
+		c.localReply = append([]byte(nil), output...)
+		i.memcpyCost(p, int64(len(output)))
+		c.pend.done = true
+		c.pend.cond.Broadcast(i.cls.Env)
+		return nil
+	}
+	i.qos.throttle(p, pri, int64(len(output)))
+	qp, release := i.pickQP(p, c.Src, pri)
+	p.Work(i.cfg.NICDoorbell)
+	err := i.node.NIC.PostSend(p.Now(), qp, rnic.WR{
+		Kind:      rnic.OpWriteImm,
+		WRID:      i.wrID(),
+		Signaled:  false,
+		LocalBuf:  output,
+		Len:       int64(len(output)),
+		RemoteKey: i.dep.Instances[c.Src].globalMR.Key(),
+		RemoteOff: int64(c.replyPA),
+		Imm:       encodeReplyImm(c.token),
+	})
+	release()
+	return err
+}
+
+// sendInternal implements LT_send: a one-way message into the
+// destination's message queue, delivered through the funcMsg ring.
+func (i *Instance) sendInternal(p *simtime.Proc, dst int, data []byte, pri Priority) error {
+	p.Work(i.cfg.LITECheck)
+	if dst == i.node.ID {
+		i.memcpyCost(p, int64(len(data)))
+		i.msgQueue = append(i.msgQueue, Message{Src: i.node.ID, Data: append([]byte(nil), data...)})
+		i.msgCond.Signal(i.cls.Env)
+		return nil
+	}
+	b, err := i.getBinding(p, dst, funcMsg, pri)
+	if err != nil {
+		return err
+	}
+	return i.postToRing(p, b, funcMsg, 0, 0, data, pri)
+}
+
+// recvInternal implements the receive side of LT_send.
+func (i *Instance) recvInternal(p *simtime.Proc) (Message, error) {
+	for {
+		if !i.adaptiveWait(p, &i.msgCond, func() bool { return len(i.msgQueue) > 0 }, 0) {
+			return Message{}, ErrTimeout
+		}
+		if len(i.msgQueue) == 0 {
+			continue // another receiver took it during our wakeup
+		}
+		m := i.msgQueue[0]
+		i.msgQueue = i.msgQueue[1:]
+		i.memcpyCost(p, int64(len(m.Data)))
+		return m, nil
+	}
+}
+
+// tryRecvInternal returns a queued message without blocking.
+func (i *Instance) tryRecvInternal(p *simtime.Proc) (Message, bool) {
+	if len(i.msgQueue) == 0 {
+		return Message{}, false
+	}
+	m := i.msgQueue[0]
+	i.msgQueue = i.msgQueue[1:]
+	i.memcpyCost(p, int64(len(m.Data)))
+	return m, true
+}
+
+// ---- shared polling thread (§5.1) ----
+
+// pollerHandleCost is the software cost of demultiplexing one CQE in
+// the shared polling thread.
+const pollerHandleCost = 120 * time.Nanosecond
+
+// pollerLoop is the per-node shared polling thread: it busy-polls the
+// single shared receive CQ for all RPC clients and functions, parses
+// the IMM metadata, and routes work — one thread per node, shared by
+// every application (§5.1, §6.1). It uses the same adaptive model as
+// user threads so an idle node does not burn a core forever.
+func (i *Instance) pollerLoop(p *simtime.Proc) {
+	for {
+		if cqe, ok := i.recvCQ.TryPoll(); ok {
+			p.Work(pollerHandleCost)
+			i.PollerCPU += pollerHandleCost
+			i.handleRecvCQE(p, cqe)
+			continue
+		}
+		// Busy window.
+		t0 := p.Now()
+		if i.recvCQ.WaitTimeout(p, i.cfg.AdaptivePollWindow) {
+			d := p.Now() - t0
+			p.CPUAccount().Charge(d)
+			i.PollerCPU += d
+			continue
+		}
+		d := p.Now() - t0
+		p.CPUAccount().Charge(d)
+		i.PollerCPU += d
+		// Sleep until the next completion.
+		i.recvCQ.Wait(p)
+		p.Work(i.cfg.WakeupLatency)
+		i.PollerCPU += i.cfg.WakeupLatency
+	}
+}
+
+func (i *Instance) handleRecvCQE(p *simtime.Proc, cqe rnic.CQE) {
+	i.topUpRecvs()
+	if !cqe.HasImm {
+		return
+	}
+	tag, fn, v := decodeImm(cqe.Imm)
+	switch tag {
+	case tagRPCReq:
+		i.handleRPCReq(p, cqe.SrcNode, fn, v)
+	case tagRPCRep:
+		token := cqe.Imm & 0x0fffffff
+		if pc, ok := i.pending[token]; ok {
+			delete(i.pending, token)
+			pc.respLen = cqe.Len
+			pc.done = true
+			pc.cond.Broadcast(i.cls.Env)
+		}
+	case tagHeadUpd:
+		if b, ok := i.bindings[bindKey{cqe.SrcNode, fn}]; ok {
+			b.head += v
+			b.space.Broadcast(i.cls.Env)
+		}
+	}
+}
+
+// handleRPCReq parses a request frame out of the server-side ring and
+// routes it to the function's queue (applications) or the system
+// worker pool (LITE-internal functions).
+func (i *Instance) handleRPCReq(p *simtime.Proc, src, fn int, off int64) {
+	ring, ok := i.srvRings[bindKey{src, fn}]
+	if !ok {
+		return
+	}
+	var hdr [ringHdr]byte
+	if err := i.node.Mem.Read(ring.pa+hostmem.PAddr(off), hdr[:]); err != nil {
+		return
+	}
+	total := int64(binary.LittleEndian.Uint32(hdr[0:]))
+	token := binary.LittleEndian.Uint32(hdr[4:])
+	replyPA := hostmem.PAddr(binary.LittleEndian.Uint64(hdr[8:]))
+	inLen := int64(binary.LittleEndian.Uint32(hdr[16:]))
+	if inLen < 0 || inLen > total-ringHdr {
+		return
+	}
+	input := make([]byte, inLen)
+	_ = i.node.Mem.Read(ring.pa+hostmem.PAddr(off+ringHdr), input)
+
+	// Ring accounting, in arrival order: account wrap padding the
+	// client inserted before this frame, then the frame itself.
+	pad := (off - ring.headLocal%ring.size + ring.size) % ring.size
+	aligned := (total + ringAlign - 1) &^ (ringAlign - 1)
+	ring.headLocal += pad + aligned
+	delta := pad + aligned
+
+	call := &Call{Func: fn, Src: src, Input: input, token: token, replyPA: replyPA, headDelta: delta}
+	if fn == funcMsg {
+		i.msgQueue = append(i.msgQueue, Message{Src: src, Data: input})
+		i.msgCond.Signal(i.cls.Env)
+		// Messages are consumed immediately; credit the ring now.
+		i.queueHeadUpdate(p, src, fn, delta)
+		return
+	}
+	f, ok := i.funcs[fn]
+	if !ok {
+		// Unknown function: reclaim the ring space; the client times out.
+		i.queueHeadUpdate(p, src, fn, delta)
+		return
+	}
+	i.dispatchCall(f, call)
+	// The paper adjusts the header at LT_recvRPC time and ships it from
+	// a background thread; the delta rides on the call until consumed.
+}
+
+// queueHeadUpdate hands a ring-credit notification to the background
+// header-update thread (step f in Figure 9).
+func (i *Instance) queueHeadUpdate(p *simtime.Proc, client, fn int, delta int64) {
+	if !i.headUpd.TrySend(p, headUpdate{client: client, fn: fn, delta: delta}) {
+		// The queue is sized far beyond any realistic backlog; losing a
+		// credit would leak ring space, so fail loudly.
+		panic("lite: header-update queue overflow")
+	}
+}
+
+// headUpdateLoop is the background thread that returns ring head
+// pointers to clients with small unsignaled write-imms.
+func (i *Instance) headUpdateLoop(p *simtime.Proc) {
+	for {
+		u, ok := i.headUpd.Recv(p)
+		if !ok {
+			return
+		}
+		qp, release := i.pickQP(p, u.client, PriHigh)
+		p.Work(i.cfg.NICDoorbell)
+		_ = i.node.NIC.PostSend(p.Now(), qp, rnic.WR{
+			Kind:     rnic.OpWriteImm,
+			WRID:     i.wrID(),
+			Signaled: false,
+			Len:      0,
+			// Zero-length: only the IMM matters.
+			RemoteKey: i.dep.Instances[u.client].globalMR.Key(),
+			RemoteOff: 0,
+			Imm:       encodeImm(tagHeadUpd, u.fn, u.delta),
+		})
+		release()
+	}
+}
+
+// topUpRecvs keeps the pool of zero-byte IMM receive buffers posted on
+// the shared QPs stocked ("LITE periodically posts IMM buffers in the
+// receive queue in the background", §5.1). Each QP is tracked
+// individually: one hot QP must never run dry behind a global count.
+func (i *Instance) topUpRecvs() {
+	for _, qs := range i.qps {
+		for _, qp := range qs {
+			if qp.RecvPosted() >= i.opts.RecvBatch/2 {
+				continue
+			}
+			for qp.RecvPosted() < i.opts.RecvBatch {
+				_ = qp.PostRecv(rnic.PostedRecv{MR: i.globalMR, Off: 0, Len: 0})
+			}
+		}
+	}
+}
+
+// systemWorkerLoop executes LITE-internal RPC handlers (control plane,
+// memory operations, locks, barriers) from the system queue.
+func (i *Instance) systemWorkerLoop(p *simtime.Proc) {
+	for {
+		if !i.adaptiveWait(p, &i.sysCond, func() bool { return len(i.sysQueue) > 0 }, 0) {
+			return
+		}
+		if len(i.sysQueue) == 0 {
+			// Another worker drained the queue while this one was
+			// paying its wakeup latency.
+			continue
+		}
+		f := i.sysQueue[0]
+		i.sysQueue = i.sysQueue[1:]
+		if len(f.queue) == 0 {
+			continue
+		}
+		call := f.queue[0]
+		f.queue = f.queue[1:]
+		if !call.local {
+			i.queueHeadUpdate(p, call.Src, call.Func, call.headDelta)
+		}
+		f.handler(p, call)
+	}
+}

@@ -1,0 +1,52 @@
+package params
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTransferTime(t *testing.T) {
+	if got := TransferTime(1e9, 1e9); got != time.Second {
+		t.Fatalf("1GB at 1GB/s = %v", got)
+	}
+	if got := TransferTime(0, 1e9); got != 0 {
+		t.Fatalf("zero bytes = %v", got)
+	}
+	if got := TransferTime(100, 0); got != 0 {
+		t.Fatalf("zero bandwidth = %v", got)
+	}
+	if got := TransferTime(-5, 1e9); got != 0 {
+		t.Fatalf("negative bytes = %v", got)
+	}
+}
+
+func TestPages(t *testing.T) {
+	cases := []struct{ n, ps, want int64 }{
+		{0, 4096, 0}, {1, 4096, 1}, {4096, 4096, 1}, {4097, 4096, 2}, {-1, 4096, 0},
+	}
+	for _, c := range cases {
+		if got := Pages(c.n, c.ps); got != c.want {
+			t.Errorf("Pages(%d, %d) = %d, want %d", c.n, c.ps, got, c.want)
+		}
+	}
+}
+
+func TestDefaultsSane(t *testing.T) {
+	c := Default()
+	if c.LinkBandwidth <= 0 || c.DMABandwidth <= 0 || c.MemcpyBandwidth <= 0 {
+		t.Fatal("bandwidths must be positive")
+	}
+	if c.PageSize <= 0 || c.PTECacheBytes < c.PageSize {
+		t.Fatal("page geometry invalid")
+	}
+	if c.MRKeyCacheEntries < 1 || c.QPCacheEntries < 1 {
+		t.Fatal("cache sizes invalid")
+	}
+	// The paper's calibration anchors.
+	if c.PTECacheBytes != 4<<20 {
+		t.Fatalf("PTE cache = %d, want the paper's 4MB knee", c.PTECacheBytes)
+	}
+	if c.RCTimeout <= c.RNRRetryDelay*time.Duration(c.RNRRetryMax) {
+		t.Fatal("RC timeout must exceed the RNR retry budget")
+	}
+}

@@ -1,0 +1,18 @@
+package rnic
+
+import "lite/internal/simtime"
+
+// Wait parks the caller until the CQ sees activity (a push or a
+// broadcast). Callers must re-check the queue after waking; use it to
+// build dispatchers that demultiplex completions by work-request id.
+func (c *CQ) Wait(p *simtime.Proc) { c.cond.Wait(p) }
+
+// WaitTimeout is Wait with a deadline; reports whether the wake came
+// from a signal.
+func (c *CQ) WaitTimeout(p *simtime.Proc, d simtime.Time) bool {
+	return c.cond.WaitTimeout(p, d)
+}
+
+// Broadcast wakes every waiter on the CQ. Dispatchers call it after
+// stashing a completion that belongs to another waiter.
+func (c *CQ) Broadcast(e *simtime.Env) { c.cond.Broadcast(e) }

@@ -1,0 +1,53 @@
+package rnic
+
+import "container/list"
+
+// lru is a fixed-capacity LRU set used to model on-NIC SRAM caches
+// (MR protection keys, page-table entries, QP contexts).
+type lru[K comparable] struct {
+	cap    int
+	m      map[K]*list.Element
+	l      *list.List
+	hits   int64
+	misses int64
+}
+
+func newLRU[K comparable](capacity int) *lru[K] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru[K]{cap: capacity, m: make(map[K]*list.Element), l: list.New()}
+}
+
+// Access touches key k and reports whether it was resident (a hit).
+// On a miss the key is inserted, evicting the least recently used
+// entry if the cache is full.
+func (c *lru[K]) Access(k K) bool {
+	if e, ok := c.m[k]; ok {
+		c.l.MoveToFront(e)
+		c.hits++
+		return true
+	}
+	c.misses++
+	if c.l.Len() >= c.cap {
+		old := c.l.Back()
+		c.l.Remove(old)
+		delete(c.m, old.Value.(K))
+	}
+	c.m[k] = c.l.PushFront(k)
+	return false
+}
+
+// Invalidate removes k from the cache if present.
+func (c *lru[K]) Invalidate(k K) {
+	if e, ok := c.m[k]; ok {
+		c.l.Remove(e)
+		delete(c.m, k)
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *lru[K]) Len() int { return c.l.Len() }
+
+// Stats returns cumulative hits and misses.
+func (c *lru[K]) Stats() (hits, misses int64) { return c.hits, c.misses }

@@ -1,0 +1,97 @@
+package rnic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := newLRU[int](2)
+	if c.Access(1) {
+		t.Fatal("first access must miss")
+	}
+	if !c.Access(1) {
+		t.Fatal("second access must hit")
+	}
+	c.Access(2)
+	c.Access(3) // evicts 1 (LRU)
+	if c.Access(1) {
+		t.Fatal("evicted key must miss")
+	}
+	// 1's re-insert evicted 2.
+	if c.Access(2) {
+		t.Fatal("2 should have been evicted")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 5 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestLRUAccessOrderMatters(t *testing.T) {
+	c := newLRU[string](2)
+	c.Access("a")
+	c.Access("b")
+	c.Access("a") // refresh a; b is now LRU
+	c.Access("c") // evicts b
+	if !c.Access("a") {
+		t.Fatal("a should be resident")
+	}
+	if c.Access("b") {
+		t.Fatal("b should be evicted")
+	}
+}
+
+func TestLRUInvalidate(t *testing.T) {
+	c := newLRU[int](4)
+	c.Access(7)
+	c.Invalidate(7)
+	if c.Access(7) {
+		t.Fatal("invalidated key must miss")
+	}
+	c.Invalidate(999) // no-op
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+// Property: the cache never exceeds capacity and behaves identically
+// to a reference LRU implementation.
+func TestQuickLRUMatchesReference(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		c := newLRU[int](capacity)
+		// Reference: slice ordered most-recent first.
+		var ref []int
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			k := rng.Intn(capacity * 3)
+			// Reference behaviour.
+			refHit := false
+			for idx, v := range ref {
+				if v == k {
+					refHit = true
+					ref = append(ref[:idx], ref[idx+1:]...)
+					break
+				}
+			}
+			ref = append([]int{k}, ref...)
+			if len(ref) > capacity {
+				ref = ref[:capacity]
+			}
+			if got := c.Access(k); got != refHit {
+				t.Logf("key %d: got hit=%v, ref hit=%v", k, got, refHit)
+				return false
+			}
+			if c.Len() > capacity {
+				t.Logf("len %d > cap %d", c.Len(), capacity)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

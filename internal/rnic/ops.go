@@ -1,0 +1,464 @@
+package rnic
+
+import (
+	"encoding/binary"
+
+	"lite/internal/params"
+	"lite/internal/simtime"
+)
+
+// PostSend posts a work request on qp with the operation considered
+// handed to the NIC at time at (the caller has already charged the
+// doorbell cost). It returns immediately; completions are reported
+// through the QP's completion queues. Synchronous errors are returned
+// only for malformed requests.
+func (n *NIC) PostSend(at simtime.Time, qp *QP, wr WR) error {
+	if err := n.validate(qp, &wr); err != nil {
+		return err
+	}
+	n.OpsPosted++
+	switch wr.Kind {
+	case OpWrite, OpWriteImm:
+		n.postWrite(at, qp, wr)
+	case OpRead:
+		n.postRead(at, qp, wr)
+	case OpSend:
+		if qp.typ == UD {
+			n.postSendUD(at, qp, wr)
+		} else {
+			n.postSendRC(at, qp, wr)
+		}
+	case OpFetchAdd, OpCmpSwap:
+		n.postAtomic(at, qp, wr)
+	default:
+		return ErrBadQPState
+	}
+	return nil
+}
+
+func (n *NIC) validate(qp *QP, wr *WR) error {
+	if qp.typ == RC && !qp.conn {
+		return ErrBadQPState
+	}
+	if qp.typ == UD && wr.Kind != OpSend {
+		return ErrUDOneSided
+	}
+	switch wr.Kind {
+	case OpFetchAdd, OpCmpSwap:
+		if wr.Len != 8 {
+			return ErrAtomicSize
+		}
+	}
+	if wr.LocalBuf != nil {
+		if int64(len(wr.LocalBuf)) < wr.Len {
+			return ErrBounds
+		}
+		return nil
+	}
+	if wr.LocalMR != nil {
+		if wr.LocalMR.node != n.node {
+			return ErrBadMR
+		}
+		if err := wr.LocalMR.checkRange(wr.LocalOff, wr.Len); err != nil {
+			return err
+		}
+	} else if wr.Len > 0 && wr.Kind != OpWriteImm {
+		return ErrBadMR
+	}
+	return nil
+}
+
+// localCost returns the NIC-side cost of addressing the gather/scatter
+// buffer of a work request: zero for raw physical buffers (LITE path),
+// key+PTE costs for registered regions.
+func (n *NIC) localCost(wr WR) simtime.Time {
+	if wr.LocalBuf != nil || wr.LocalMR == nil || wr.Len == 0 {
+		return 0
+	}
+	return n.mrAccessCost(wr.LocalMR, wr.LocalOff, wr.Len)
+}
+
+// writeLocal scatters result bytes into the request's local buffer.
+func writeLocal(wr WR, data []byte) {
+	if wr.LocalBuf != nil {
+		copy(wr.LocalBuf, data)
+		return
+	}
+	if wr.LocalMR != nil {
+		_ = wr.LocalMR.WriteAt(wr.LocalOff, data)
+	}
+}
+
+func (n *NIC) env() *simtime.Env        { return n.reg.env }
+func (n *NIC) cfg() *params.Config      { return n.reg.cfg }
+func (n *NIC) peer(node int) *NIC       { return n.reg.nics[node] }
+func (n *NIC) ackProcess() simtime.Time { return n.cfg().NICProcess / 2 }
+
+// completeSend pushes a send-side completion at time t if requested.
+func (n *NIC) completeSend(t simtime.Time, qp *QP, wr WR, st Status) {
+	if !wr.Signaled {
+		return
+	}
+	cqe := CQE{WRID: wr.WRID, QPN: qp.qpn, Kind: wr.Kind, Status: st, Len: wr.Len}
+	n.env().At(t, func(e *simtime.Env) { qp.sendCQ.Push(e, cqe) })
+}
+
+// failAfterTimeout completes the request in error after the RC
+// transport timeout. Used when the destination is unreachable.
+func (n *NIC) failAfterTimeout(at simtime.Time, qp *QP, wr WR) {
+	n.completeSend(at+n.cfg().RCTimeout, qp, wr, StatusTimeout)
+}
+
+// snapshot reads the gather buffer at post time (the host buffer must
+// stay stable until completion, as with real RDMA).
+func snapshot(wr WR) []byte {
+	if wr.Len == 0 {
+		return nil
+	}
+	buf := make([]byte, wr.Len)
+	if wr.LocalBuf != nil {
+		copy(buf, wr.LocalBuf[:wr.Len])
+		return buf
+	}
+	if wr.LocalMR == nil {
+		return nil
+	}
+	if err := wr.LocalMR.ReadAt(wr.LocalOff, buf); err != nil {
+		return nil
+	}
+	return buf
+}
+
+// postWrite implements one-sided RDMA write and write-with-immediate.
+func (n *NIC) postWrite(at simtime.Time, qp *QP, wr WR) {
+	cfg := n.cfg()
+	t1 := n.txPipe.Reserve(at, cfg.NICProcess+n.qpCost(qp.qpn)+n.localCost(wr))
+	t2 := n.dma.Reserve(t1, params.TransferTime(wr.Len, cfg.DMABandwidth))
+	payload := snapshot(wr)
+
+	dst := qp.remoteNode
+	t3, ok := n.reg.fab.ReservePath(t2, n.node, dst, wr.Len+int64(cfg.WireHeader))
+	rn := n.peer(dst)
+	if !ok || rn == nil {
+		n.failAfterTimeout(at, qp, wr)
+		return
+	}
+	rqp := rn.qps[qp.remoteQPN]
+	if rqp == nil {
+		n.failAfterTimeout(at, qp, wr)
+		return
+	}
+	rmr, found := rn.mrs[wr.RemoteKey]
+	if !found {
+		n.nack(t3, rn, qp, wr, StatusBadKey)
+		return
+	}
+	if rmr.perm&PermWrite == 0 {
+		n.nack(t3, rn, qp, wr, StatusAccessError)
+		return
+	}
+	if rmr.checkRange(wr.RemoteOff, wr.Len) != nil {
+		n.nack(t3, rn, qp, wr, StatusLengthError)
+		return
+	}
+	t4 := rn.rxPipe.Reserve(t3, cfg.NICProcess+rn.qpCost(qp.remoteQPN)+rn.mrAccessCost(rmr, wr.RemoteOff, wr.Len))
+	t5 := rn.dma.Reserve(t4, params.TransferTime(wr.Len, cfg.DMABandwidth))
+
+	if wr.Kind == OpWriteImm {
+		// The immediate consumes a posted receive at the target; retry
+		// on receiver-not-ready, failing after RNRRetryMax attempts.
+		n.deliverImm(t5, rn, rqp, qp, wr, payload, rmr, 0)
+		return
+	}
+	n.env().At(t5, func(*simtime.Env) {
+		rn.OpsDeliverd++
+		_ = rmr.WriteAt(wr.RemoteOff, payload)
+	})
+	n.ackBack(t5, dst, qp, wr, StatusOK)
+}
+
+// deliverImm commits a write-imm at the target: writes the payload,
+// consumes one posted receive for the immediate, and pushes a receive
+// completion. On receiver-not-ready it retries.
+func (n *NIC) deliverImm(t simtime.Time, rn *NIC, rqp *QP, qp *QP, wr WR, payload []byte, rmr *MR, attempt int) {
+	cfg := n.cfg()
+	n.env().At(t, func(e *simtime.Env) {
+		if _, ok := rqp.popRecv(); !ok {
+			if attempt >= cfg.RNRRetryMax {
+				n.completeSend(e.Now(), qp, wr, StatusRNRExceeded)
+				return
+			}
+			n.deliverImm(e.Now()+cfg.RNRRetryDelay, rn, rqp, qp, wr, payload, rmr, attempt+1)
+			return
+		}
+		rn.OpsDeliverd++
+		if len(payload) > 0 {
+			_ = rmr.WriteAt(wr.RemoteOff, payload)
+		}
+		rqp.recvCQ.Push(e, CQE{
+			QPN:     rqp.qpn,
+			Kind:    OpWriteImm,
+			Status:  StatusOK,
+			Imm:     wr.Imm,
+			HasImm:  true,
+			Len:     wr.Len,
+			SrcNode: n.node,
+			SrcQPN:  qp.qpn,
+		})
+		n.ackBack(e.Now(), rn.node, qp, wr, StatusOK)
+	})
+}
+
+// nack completes the request in error after a negative ack round trip.
+func (n *NIC) nack(t simtime.Time, rn *NIC, qp *QP, wr WR, st Status) {
+	// Error detected at remote rx pipeline; small processing then nack.
+	cfg := n.cfg()
+	t4 := rn.rxPipe.Reserve(t, cfg.NICProcess)
+	back, ok := n.reg.fab.ReservePath(t4, rn.node, n.node, int64(cfg.AckBytes))
+	if !ok {
+		n.failAfterTimeout(t, qp, wr)
+		return
+	}
+	t6 := n.rxPipe.Reserve(back, n.ackProcess())
+	// Errors are always reported, signaled or not.
+	cqe := CQE{WRID: wr.WRID, QPN: qp.qpn, Kind: wr.Kind, Status: st, Len: wr.Len}
+	n.env().At(t6, func(e *simtime.Env) { qp.sendCQ.Push(e, cqe) })
+}
+
+// ackBack schedules the RC acknowledgment and the sender completion.
+func (n *NIC) ackBack(t simtime.Time, dst int, qp *QP, wr WR, st Status) {
+	cfg := n.cfg()
+	back, ok := n.reg.fab.ReservePath(t, dst, n.node, int64(cfg.AckBytes))
+	if !ok {
+		n.failAfterTimeout(t, qp, wr)
+		return
+	}
+	t6 := n.rxPipe.Reserve(back, n.ackProcess())
+	n.completeSend(t6, qp, wr, st)
+}
+
+// postRead implements one-sided RDMA read.
+func (n *NIC) postRead(at simtime.Time, qp *QP, wr WR) {
+	cfg := n.cfg()
+	t1 := n.txPipe.Reserve(at, cfg.NICProcess+n.qpCost(qp.qpn)+n.localCost(wr))
+
+	dst := qp.remoteNode
+	t3, ok := n.reg.fab.ReservePath(t1, n.node, dst, int64(cfg.WireHeader))
+	rn := n.peer(dst)
+	if !ok || rn == nil || rn.qps[qp.remoteQPN] == nil {
+		n.failAfterTimeout(at, qp, wr)
+		return
+	}
+	rmr, found := rn.mrs[wr.RemoteKey]
+	if !found {
+		n.nack(t3, rn, qp, wr, StatusBadKey)
+		return
+	}
+	if rmr.perm&PermRead == 0 {
+		n.nack(t3, rn, qp, wr, StatusAccessError)
+		return
+	}
+	if rmr.checkRange(wr.RemoteOff, wr.Len) != nil {
+		n.nack(t3, rn, qp, wr, StatusLengthError)
+		return
+	}
+	t4 := rn.rxPipe.Reserve(t3, cfg.NICProcess+rn.qpCost(qp.remoteQPN)+rn.mrAccessCost(rmr, wr.RemoteOff, wr.Len))
+	t5 := rn.dma.Reserve(t4, params.TransferTime(wr.Len, cfg.DMABandwidth))
+
+	// Snapshot the remote bytes at the instant the remote DMA reads them.
+	data := make([]byte, wr.Len)
+	n.env().At(t5, func(*simtime.Env) {
+		rn.OpsDeliverd++
+		_ = rmr.ReadAt(wr.RemoteOff, data)
+	})
+
+	back, ok := n.reg.fab.ReservePath(t5, dst, n.node, wr.Len+int64(cfg.WireHeader))
+	if !ok {
+		n.failAfterTimeout(t5, qp, wr)
+		return
+	}
+	t7 := n.rxPipe.Reserve(back, cfg.NICProcess)
+	t8 := n.dma.Reserve(t7, params.TransferTime(wr.Len, cfg.DMABandwidth))
+	wrCopy := wr
+	n.env().At(t8, func(*simtime.Env) { writeLocal(wrCopy, data) })
+	n.completeSend(t8, qp, wr, StatusOK)
+}
+
+// postSendRC implements two-sided send on a reliable connection.
+func (n *NIC) postSendRC(at simtime.Time, qp *QP, wr WR) {
+	cfg := n.cfg()
+	t1 := n.txPipe.Reserve(at, cfg.NICProcess+n.qpCost(qp.qpn)+n.localCost(wr))
+	t2 := n.dma.Reserve(t1, params.TransferTime(wr.Len, cfg.DMABandwidth))
+	payload := snapshot(wr)
+
+	dst := qp.remoteNode
+	t3, ok := n.reg.fab.ReservePath(t2, n.node, dst, wr.Len+int64(cfg.WireHeader))
+	rn := n.peer(dst)
+	if !ok || rn == nil {
+		n.failAfterTimeout(at, qp, wr)
+		return
+	}
+	rqp := rn.qps[qp.remoteQPN]
+	if rqp == nil {
+		n.failAfterTimeout(at, qp, wr)
+		return
+	}
+	t4 := rn.rxPipe.Reserve(t3, cfg.NICProcess+rn.qpCost(qp.remoteQPN))
+	n.deliverSend(t4, rn, rqp, qp, wr, payload, 0)
+}
+
+// deliverSend commits a two-sided send into a posted receive buffer,
+// retrying on receiver-not-ready.
+func (n *NIC) deliverSend(t simtime.Time, rn *NIC, rqp *QP, qp *QP, wr WR, payload []byte, attempt int) {
+	cfg := n.cfg()
+	n.env().At(t, func(e *simtime.Env) {
+		recv, ok := rqp.popRecv()
+		if !ok {
+			if attempt >= cfg.RNRRetryMax {
+				n.completeSend(e.Now(), qp, wr, StatusRNRExceeded)
+				return
+			}
+			n.deliverSend(e.Now()+cfg.RNRRetryDelay, rn, rqp, qp, wr, payload, attempt+1)
+			return
+		}
+		if recv.Len < wr.Len {
+			// Message does not fit the posted buffer.
+			rqp.recvCQ.Push(e, CQE{QPN: rqp.qpn, Kind: OpRecv, Status: StatusLengthError,
+				SrcNode: n.node, SrcQPN: qp.qpn, RecvWRID: recv.WRID})
+			n.ackBack(e.Now(), rn.node, qp, wr, StatusLengthError)
+			return
+		}
+		// Receive-side DMA and translation of the receive buffer.
+		cost := rn.mrAccessCost(recv.MR, recv.Off, wr.Len)
+		t5 := rn.rxPipe.Reserve(e.Now(), cost)
+		t6 := rn.dma.Reserve(t5, params.TransferTime(wr.Len, cfg.DMABandwidth))
+		e.At(t6, func(e2 *simtime.Env) {
+			rn.OpsDeliverd++
+			_ = recv.MR.WriteAt(recv.Off, payload)
+			rqp.recvCQ.Push(e2, CQE{
+				QPN:      rqp.qpn,
+				Kind:     OpRecv,
+				Status:   StatusOK,
+				Len:      wr.Len,
+				SrcNode:  n.node,
+				SrcQPN:   qp.qpn,
+				RecvWRID: recv.WRID,
+			})
+		})
+		n.ackBack(t6, rn.node, qp, wr, StatusOK)
+	})
+}
+
+// postSendUD implements unreliable datagram send: fire and forget,
+// dropped silently if the destination has no posted receive.
+func (n *NIC) postSendUD(at simtime.Time, qp *QP, wr WR) {
+	cfg := n.cfg()
+	t1 := n.txPipe.Reserve(at, cfg.NICProcess+n.qpCost(qp.qpn)+n.localCost(wr))
+	t2 := n.dma.Reserve(t1, params.TransferTime(wr.Len, cfg.DMABandwidth))
+	payload := snapshot(wr)
+
+	// UD completes locally as soon as the datagram leaves the NIC.
+	n.completeSend(t2, qp, wr, StatusOK)
+
+	t3, ok := n.reg.fab.ReservePath(t2, n.node, wr.DestNode, wr.Len+int64(cfg.UDHeader))
+	rn := n.peer(wr.DestNode)
+	if !ok || rn == nil {
+		return // lost on the wire; UD gives no feedback
+	}
+	rqp := rn.qps[wr.DestQPN]
+	if rqp == nil || rqp.typ != UD {
+		return
+	}
+	t4 := rn.rxPipe.Reserve(t3, cfg.NICProcess+rn.qpCost(wr.DestQPN))
+	srcNode, srcQPN := n.node, qp.qpn
+	n.env().At(t4, func(e *simtime.Env) {
+		recv, ok := rqp.popRecv()
+		if !ok || recv.Len < wr.Len {
+			rqp.drops++
+			return
+		}
+		t5 := rn.rxPipe.Reserve(e.Now(), rn.mrAccessCost(recv.MR, recv.Off, wr.Len))
+		t6 := rn.dma.Reserve(t5, params.TransferTime(wr.Len, cfg.DMABandwidth))
+		e.At(t6, func(e2 *simtime.Env) {
+			rn.OpsDeliverd++
+			_ = recv.MR.WriteAt(recv.Off, payload)
+			rqp.recvCQ.Push(e2, CQE{
+				QPN:      rqp.qpn,
+				Kind:     OpRecv,
+				Status:   StatusOK,
+				Len:      wr.Len,
+				SrcNode:  srcNode,
+				SrcQPN:   srcQPN,
+				RecvWRID: recv.WRID,
+			})
+		})
+	})
+}
+
+// postAtomic implements 8-byte masked atomics (fetch-add, cmp-swap)
+// executed at the remote NIC in arrival order.
+func (n *NIC) postAtomic(at simtime.Time, qp *QP, wr WR) {
+	cfg := n.cfg()
+	t1 := n.txPipe.Reserve(at, cfg.NICProcess+n.qpCost(qp.qpn)+n.localCost(wr))
+
+	dst := qp.remoteNode
+	t3, ok := n.reg.fab.ReservePath(t1, n.node, dst, int64(cfg.WireHeader)+16)
+	rn := n.peer(dst)
+	if !ok || rn == nil || rn.qps[qp.remoteQPN] == nil {
+		n.failAfterTimeout(at, qp, wr)
+		return
+	}
+	rmr, found := rn.mrs[wr.RemoteKey]
+	if !found {
+		n.nack(t3, rn, qp, wr, StatusBadKey)
+		return
+	}
+	if rmr.perm&PermAtomic == 0 {
+		n.nack(t3, rn, qp, wr, StatusAccessError)
+		return
+	}
+	if rmr.checkRange(wr.RemoteOff, 8) != nil {
+		n.nack(t3, rn, qp, wr, StatusLengthError)
+		return
+	}
+	// The remote rx pipeline is the atomicity serialization point.
+	t4 := rn.rxPipe.Reserve(t3, cfg.NICProcess+rn.qpCost(qp.remoteQPN)+rn.mrAccessCost(rmr, wr.RemoteOff, 8)+cfg.AtomicProcess)
+
+	var old uint64
+	kind := wr.Kind
+	add, cmp, swp := wr.Add, wr.Compare, wr.Swap
+	n.env().At(t4, func(*simtime.Env) {
+		rn.OpsDeliverd++
+		var b [8]byte
+		_ = rmr.ReadAt(wr.RemoteOff, b[:])
+		old = binary.LittleEndian.Uint64(b[:])
+		next := old
+		switch kind {
+		case OpFetchAdd:
+			next = old + add
+		case OpCmpSwap:
+			if old == cmp {
+				next = swp
+			}
+		}
+		binary.LittleEndian.PutUint64(b[:], next)
+		_ = rmr.WriteAt(wr.RemoteOff, b[:])
+	})
+
+	back, ok := n.reg.fab.ReservePath(t4, dst, n.node, int64(cfg.WireHeader)+8)
+	if !ok {
+		n.failAfterTimeout(t4, qp, wr)
+		return
+	}
+	t6 := n.rxPipe.Reserve(back, n.ackProcess())
+	wrCopy, res := wr, wr.AtomicResult
+	n.env().At(t6, func(*simtime.Env) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], old)
+		writeLocal(wrCopy, b[:])
+		if res != nil {
+			*res = old
+		}
+	})
+	n.completeSend(t6, qp, wr, StatusOK)
+}

@@ -1,0 +1,361 @@
+// Package rnic simulates an RDMA-capable network interface card and
+// its scarce on-NIC SRAM, faithfully enough that the scalability
+// pathologies the LITE paper attributes to native RDMA (Figures 4 and
+// 5 of Tsai & Zhang, SOSP'17) emerge from cache behaviour rather than
+// from curve fitting.
+//
+// Each NIC owns three SRAM caches — memory-region protection keys,
+// page-table entries for virtual-address memory regions, and QP
+// contexts — plus FIFO processing pipelines (transmit, receive) and a
+// DMA engine, all modeled as simtime resource servers. Memory regions
+// registered with physical addresses (the kernel-only path LITE
+// exploits) bypass the PTE cache entirely.
+package rnic
+
+import (
+	"errors"
+
+	"lite/internal/hostmem"
+	"lite/internal/simtime"
+)
+
+// OpKind identifies a work-request or completion type.
+type OpKind int
+
+// Work-request kinds.
+const (
+	OpWrite OpKind = iota
+	OpWriteImm
+	OpRead
+	OpSend
+	OpRecv
+	OpFetchAdd
+	OpCmpSwap
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "WRITE"
+	case OpWriteImm:
+		return "WRITE_IMM"
+	case OpRead:
+		return "READ"
+	case OpSend:
+		return "SEND"
+	case OpRecv:
+		return "RECV"
+	case OpFetchAdd:
+		return "FETCH_ADD"
+	case OpCmpSwap:
+		return "CMP_SWAP"
+	}
+	return "UNKNOWN"
+}
+
+// Status is a completion status.
+type Status int
+
+// Completion statuses.
+const (
+	StatusOK Status = iota
+	StatusAccessError
+	StatusTimeout
+	StatusRNRExceeded
+	StatusLengthError
+	StatusBadKey
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusAccessError:
+		return "ACCESS_ERROR"
+	case StatusTimeout:
+		return "TIMEOUT"
+	case StatusRNRExceeded:
+		return "RNR_EXCEEDED"
+	case StatusLengthError:
+		return "LENGTH_ERROR"
+	case StatusBadKey:
+		return "BAD_KEY"
+	}
+	return "UNKNOWN"
+}
+
+// Errors returned synchronously by posting paths.
+var (
+	ErrBadQPState = errors.New("rnic: QP not connected")
+	ErrBadMR      = errors.New("rnic: unknown or foreign memory region")
+	ErrBounds     = errors.New("rnic: access outside memory region")
+	ErrUDOneSided = errors.New("rnic: one-sided and atomic verbs unsupported on UD")
+	ErrAtomicSize = errors.New("rnic: atomics operate on exactly 8 bytes")
+)
+
+// Perm is an MR permission bitmask.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermAtomic
+)
+
+// MR is a registered memory region. Virtual MRs are backed by an
+// address space and require per-page NIC translations; physical MRs
+// (kernel-only registration) are addressed directly.
+type MR struct {
+	key  uint32
+	node int
+	size int64
+	perm Perm
+
+	phys bool
+	pa   hostmem.PAddr
+	as   *hostmem.AddressSpace
+	va   hostmem.VAddr
+}
+
+// Key returns the region's protection key (serves as lkey and rkey).
+func (m *MR) Key() uint32 { return m.key }
+
+// Size returns the region's length in bytes.
+func (m *MR) Size() int64 { return m.size }
+
+// Node returns the node the region lives on.
+func (m *MR) Node() int { return m.node }
+
+// Phys reports whether the region was registered with physical
+// addresses (the kernel-only path).
+func (m *MR) Phys() bool { return m.phys }
+
+func (m *MR) checkRange(off, n int64) error {
+	if off < 0 || n < 0 || off+n > m.size {
+		return ErrBounds
+	}
+	return nil
+}
+
+// ReadAt copies len(buf) bytes at offset off out of the region.
+func (m *MR) ReadAt(off int64, buf []byte) error {
+	if err := m.checkRange(off, int64(len(buf))); err != nil {
+		return err
+	}
+	if m.phys {
+		return m.as.Mem().Read(m.pa+hostmem.PAddr(off), buf)
+	}
+	return m.as.ReadV(m.va+hostmem.VAddr(off), buf)
+}
+
+// WriteAt copies data into the region at offset off.
+func (m *MR) WriteAt(off int64, data []byte) error {
+	if err := m.checkRange(off, int64(len(data))); err != nil {
+		return err
+	}
+	if m.phys {
+		return m.as.Mem().Write(m.pa+hostmem.PAddr(off), data)
+	}
+	return m.as.WriteV(m.va+hostmem.VAddr(off), data)
+}
+
+// CQE is a completion-queue entry.
+type CQE struct {
+	WRID     uint64
+	QPN      int
+	Kind     OpKind
+	Status   Status
+	Imm      uint32
+	HasImm   bool
+	Len      int64
+	SrcNode  int
+	SrcQPN   int
+	RecvWRID uint64 // for receive completions: the posted buffer's WRID
+}
+
+// CQ is a completion queue. Pollers wait on its condition variable;
+// busy-polling callers charge the wait to their CPU account themselves.
+type CQ struct {
+	cqn  int
+	q    []CQE
+	cond simtime.Cond
+}
+
+// CQN returns the completion queue number.
+func (c *CQ) CQN() int { return c.cqn }
+
+// Len returns the number of pending completions.
+func (c *CQ) Len() int { return len(c.q) }
+
+// Push appends a completion and wakes one poller. It may be called
+// from scheduler callbacks.
+func (c *CQ) Push(e *simtime.Env, cqe CQE) {
+	c.q = append(c.q, cqe)
+	c.cond.Signal(e)
+}
+
+// TryPoll removes and returns the oldest completion, if any.
+func (c *CQ) TryPoll() (CQE, bool) {
+	if len(c.q) == 0 {
+		return CQE{}, false
+	}
+	cqe := c.q[0]
+	c.q = c.q[1:]
+	return cqe, true
+}
+
+// Poll blocks until a completion is available and returns it. The
+// caller decides whether the wait was a busy-poll (and charges CPU
+// accordingly) or a sleep.
+func (c *CQ) Poll(p *simtime.Proc) CQE {
+	for {
+		if cqe, ok := c.TryPoll(); ok {
+			return cqe
+		}
+		c.cond.Wait(p)
+	}
+}
+
+// PollTimeout is Poll with a deadline; ok is false on timeout.
+func (c *CQ) PollTimeout(p *simtime.Proc, d simtime.Time) (CQE, bool) {
+	deadline := p.Now() + d
+	for {
+		if cqe, ok := c.TryPoll(); ok {
+			return cqe, true
+		}
+		remain := deadline - p.Now()
+		if remain <= 0 {
+			return CQE{}, false
+		}
+		c.cond.WaitTimeout(p, remain)
+	}
+}
+
+// QPType selects the transport.
+type QPType int
+
+// Transports.
+const (
+	RC QPType = iota // reliable connection
+	UD               // unreliable datagram
+)
+
+// PostedRecv is a receive buffer posted to a QP's receive queue.
+type PostedRecv struct {
+	MR   *MR
+	Off  int64
+	Len  int64
+	WRID uint64
+}
+
+// QP is a queue pair.
+type QP struct {
+	qpn  int
+	nic  *NIC
+	typ  QPType
+	conn bool
+	// RC peer.
+	remoteNode int
+	remoteQPN  int
+
+	sendCQ *CQ
+	recvCQ *CQ
+	rq     []PostedRecv
+
+	drops int64 // UD datagrams dropped for lack of a posted receive
+}
+
+// QPN returns the queue pair number (unique per NIC).
+func (q *QP) QPN() int { return q.qpn }
+
+// Type returns the transport type.
+func (q *QP) Type() QPType { return q.typ }
+
+// NIC returns the owning NIC.
+func (q *QP) NIC() *NIC { return q.nic }
+
+// SendCQ returns the send completion queue.
+func (q *QP) SendCQ() *CQ { return q.sendCQ }
+
+// RecvCQ returns the receive completion queue.
+func (q *QP) RecvCQ() *CQ { return q.recvCQ }
+
+// Connect pairs an RC QP with a remote QP. UD QPs need no connection.
+func (q *QP) Connect(remoteNode, remoteQPN int) {
+	q.remoteNode = remoteNode
+	q.remoteQPN = remoteQPN
+	q.conn = true
+}
+
+// Connected reports whether an RC QP has been paired.
+func (q *QP) Connected() bool { return q.conn }
+
+// PostRecv posts a receive buffer. The buffer's MR must belong to the
+// same node as the QP.
+func (q *QP) PostRecv(r PostedRecv) error {
+	if r.MR == nil || r.MR.node != q.nic.node {
+		return ErrBadMR
+	}
+	if err := r.MR.checkRange(r.Off, r.Len); err != nil {
+		return err
+	}
+	q.rq = append(q.rq, r)
+	return nil
+}
+
+// RecvPosted returns the number of posted receive buffers.
+func (q *QP) RecvPosted() int { return len(q.rq) }
+
+// Drops returns the number of UD datagrams dropped because no receive
+// buffer was posted.
+func (q *QP) Drops() int64 { return q.drops }
+
+func (q *QP) popRecv() (PostedRecv, bool) {
+	if len(q.rq) == 0 {
+		return PostedRecv{}, false
+	}
+	r := q.rq[0]
+	q.rq = q.rq[1:]
+	return r, true
+}
+
+// WR is a work request for PostSend.
+type WR struct {
+	Kind     OpKind
+	WRID     uint64
+	Signaled bool
+
+	// Local buffer (gather source for writes/sends, scatter target for
+	// reads and atomic results).
+	LocalMR  *MR
+	LocalOff int64
+	Len      int64
+
+	// LocalBuf, if non-nil, is used instead of LocalMR: the NIC
+	// addresses the host buffer directly by physical address with no
+	// local key lookup or translation. This models LITE's kernel path,
+	// which covers all of physical memory with one always-resident
+	// global registration and hands the NIC raw physical addresses.
+	LocalBuf []byte
+
+	// Remote buffer for one-sided operations.
+	RemoteKey uint32
+	RemoteOff int64
+
+	// Immediate value for WriteImm.
+	Imm uint32
+
+	// UD addressing.
+	DestNode int
+	DestQPN  int
+
+	// Atomics.
+	Add     uint64
+	Compare uint64
+	Swap    uint64
+
+	// AtomicResult, if non-nil, receives the 8-byte old value in
+	// addition to it being written to the local buffer.
+	AtomicResult *uint64
+}

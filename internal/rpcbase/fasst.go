@@ -1,0 +1,183 @@
+package rpcbase
+
+import (
+	"encoding/binary"
+	"time"
+
+	"lite/internal/cluster"
+	"lite/internal/params"
+	"lite/internal/rnic"
+	"lite/internal/simtime"
+	"lite/internal/verbs"
+)
+
+// fasstMaxMsg bounds one FaSST datagram (request or response).
+const fasstMaxMsg = 8192
+
+// fasstHdr extends the common frame with the caller's node and UD QPN
+// so the server can address the response datagram.
+// [8B token][4B len][4B srcNode][4B srcQPN][payload]
+const fasstHdr = frameHdr + 8
+
+// FaSSTServer serves RPCs in the FaSST style: requests and responses
+// are UD sends, and a master poller thread both polls the receive CQ
+// and executes the handler inline (the design whose throughput
+// bottleneck the paper §5.3 notes).
+type FaSSTServer struct {
+	cls     *cluster.Cluster
+	node    int
+	ctx     *verbs.Context
+	ud      *rnic.QP
+	handler Handler
+
+	recvMR   *rnic.MR
+	recvSize int64
+	nrecv    int
+
+	// Handled counts completed requests.
+	Handled int64
+}
+
+// StartFaSST starts a FaSST server at node with `pollers` master
+// coroutine threads (the original uses one per core).
+func StartFaSST(cls *cluster.Cluster, node, pollers int, handler Handler) (*FaSSTServer, error) {
+	nd := cls.Nodes[node]
+	s := &FaSSTServer{
+		cls:     cls,
+		node:    node,
+		ctx:     verbs.Open(nd.NIC, nd.KernelAS),
+		handler: handler,
+	}
+	s.ud = s.ctx.CreateQP(rnic.UD, s.ctx.CreateCQ(), s.ctx.CreateCQ())
+	s.recvSize = fasstMaxMsg
+	s.nrecv = 1024
+	pa, err := nd.Mem.AllocContiguous(s.recvSize * int64(s.nrecv))
+	if err != nil {
+		return nil, err
+	}
+	s.recvMR, err = nd.NIC.RegisterPhysMR(nd.KernelAS, pa, s.recvSize*int64(s.nrecv), rnic.PermRead|rnic.PermWrite)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < s.nrecv; k++ {
+		_ = s.ud.PostRecv(rnic.PostedRecv{MR: s.recvMR, Off: int64(k) * s.recvSize, Len: s.recvSize, WRID: uint64(k)})
+	}
+	for w := 0; w < pollers; w++ {
+		cls.GoDaemonOn(node, "fasst-master", s.masterLoop)
+	}
+	return s, nil
+}
+
+// masterLoop busy-polls the receive CQ and executes handlers inline.
+func (s *FaSSTServer) masterLoop(p *simtime.Proc) {
+	cfg := params.Default()
+	for {
+		cqe := s.ctx.PollCQ(p, s.ud.RecvCQ()) // CPU charged while idle
+		buf := make([]byte, cqe.Len)
+		off := int64(cqe.RecvWRID) * s.recvSize
+		_ = s.recvMR.ReadAt(off, buf)
+		_ = s.ud.PostRecv(rnic.PostedRecv{MR: s.recvMR, Off: off, Len: s.recvSize, WRID: cqe.RecvWRID})
+		if len(buf) < fasstHdr {
+			continue
+		}
+		token := binary.LittleEndian.Uint64(buf[0:])
+		n := binary.LittleEndian.Uint32(buf[8:])
+		srcNode := int(binary.LittleEndian.Uint32(buf[12:]))
+		srcQPN := int(binary.LittleEndian.Uint32(buf[16:]))
+		if int(n)+fasstHdr > len(buf) {
+			continue
+		}
+		out := s.handler(buf[fasstHdr : fasstHdr+int(n)])
+		s.Handled++
+		// The master coroutine executes the handler and stages the
+		// response inline — the serialization point the paper calls a
+		// throughput bottleneck (5.3).
+		p.Work(400*time.Nanosecond + params.TransferTime(int64(len(out)), cfg.MemcpyBandwidth))
+		resp := make([]byte, frameHdr+len(out))
+		putFrame(resp, token, out)
+		_ = s.ctx.PostSend(p, s.ud, rnic.WR{
+			Kind: rnic.OpSend, Signaled: false,
+			LocalBuf: resp, Len: int64(len(resp)),
+			DestNode: srcNode, DestQPN: srcQPN,
+		})
+	}
+}
+
+// FaSSTClient issues RPCs to a FaSST server over UD.
+type FaSSTClient struct {
+	cls    *cluster.Cluster
+	node   int
+	ctx    *verbs.Context
+	ud     *rnic.QP
+	server *FaSSTServer
+	token  uint64
+
+	recvMR   *rnic.MR
+	recvSize int64
+	nrecv    int
+	// Out-of-order responses parked by token.
+	stash map[uint64][]byte
+}
+
+// ConnectFaSST builds a client endpoint at clientNode.
+func ConnectFaSST(cls *cluster.Cluster, s *FaSSTServer, clientNode int) (*FaSSTClient, error) {
+	nd := cls.Nodes[clientNode]
+	c := &FaSSTClient{
+		cls:    cls,
+		node:   clientNode,
+		ctx:    verbs.Open(nd.NIC, nd.KernelAS),
+		server: s,
+		stash:  make(map[uint64][]byte),
+	}
+	c.ud = c.ctx.CreateQP(rnic.UD, c.ctx.CreateCQ(), c.ctx.CreateCQ())
+	c.recvSize = fasstMaxMsg
+	c.nrecv = 64
+	pa, err := nd.Mem.AllocContiguous(c.recvSize * int64(c.nrecv))
+	if err != nil {
+		return nil, err
+	}
+	c.recvMR, err = nd.NIC.RegisterPhysMR(nd.KernelAS, pa, c.recvSize*int64(c.nrecv), rnic.PermRead|rnic.PermWrite)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < c.nrecv; k++ {
+		_ = c.ud.PostRecv(rnic.PostedRecv{MR: c.recvMR, Off: int64(k) * c.recvSize, Len: c.recvSize, WRID: uint64(k)})
+	}
+	return c, nil
+}
+
+// Call performs one RPC: a UD send and a busy-poll for the matching
+// response datagram.
+func (c *FaSSTClient) Call(p *simtime.Proc, input []byte) ([]byte, error) {
+	c.token++
+	token := c.token
+	req := make([]byte, fasstHdr+len(input))
+	binary.LittleEndian.PutUint64(req[0:], token)
+	binary.LittleEndian.PutUint32(req[8:], uint32(len(input)))
+	binary.LittleEndian.PutUint32(req[12:], uint32(c.node))
+	binary.LittleEndian.PutUint32(req[16:], uint32(c.ud.QPN()))
+	copy(req[fasstHdr:], input)
+	if err := c.ctx.PostSend(p, c.ud, rnic.WR{
+		Kind: rnic.OpSend, Signaled: false,
+		LocalBuf: req, Len: int64(len(req)),
+		DestNode: c.server.node, DestQPN: c.server.ud.QPN(),
+	}); err != nil {
+		return nil, err
+	}
+	for {
+		if out, ok := c.stash[token]; ok {
+			delete(c.stash, token)
+			return out, nil
+		}
+		cqe := c.ctx.PollCQ(p, c.ud.RecvCQ())
+		buf := make([]byte, cqe.Len)
+		off := int64(cqe.RecvWRID) * c.recvSize
+		_ = c.recvMR.ReadAt(off, buf)
+		_ = c.ud.PostRecv(rnic.PostedRecv{MR: c.recvMR, Off: off, Len: c.recvSize, WRID: cqe.RecvWRID})
+		tok, payload := parseFrame(buf)
+		if tok == token {
+			return append([]byte(nil), payload...), nil
+		}
+		c.stash[tok] = append([]byte(nil), payload...)
+	}
+}

@@ -1,0 +1,81 @@
+package rpcbase
+
+import "sort"
+
+// This file models the memory accounting of send/recv-based RPC for
+// the paper's Figure 12. With two-sided sends, receivers must pre-post
+// buffers large enough for the biggest possible message; even with
+// several receive queues of different buffer sizes (the optimization
+// of Shipman et al. [72] the paper grants the baseline), every message
+// consumes a buffer at least as large as itself, wasting the
+// difference. LITE's write-imm rings consume only the bytes written
+// (rounded to the ring's 64-byte slot alignment) plus a fixed header.
+
+// RQClasses picks k receive-buffer size classes for the given message
+// size distribution, placed at evenly spaced quantiles with the top
+// class at the maximum (a message must always fit somewhere).
+func RQClasses(sizes []int64, k int) []int64 {
+	if len(sizes) == 0 || k < 1 {
+		return nil
+	}
+	sorted := append([]int64(nil), sizes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	classes := make([]int64, 0, k)
+	for c := 1; c <= k; c++ {
+		idx := len(sorted)*c/k - 1
+		if idx < 0 {
+			idx = 0
+		}
+		v := sorted[idx]
+		if len(classes) > 0 && v <= classes[len(classes)-1] {
+			continue
+		}
+		classes = append(classes, v)
+	}
+	if classes[len(classes)-1] < sorted[len(sorted)-1] {
+		classes = append(classes, sorted[len(sorted)-1])
+	}
+	return classes
+}
+
+// SendRQUtilization returns payload bytes divided by consumed receive
+// buffer bytes when each message is steered to the most space-efficient
+// receive queue (the smallest class that fits it).
+func SendRQUtilization(sizes []int64, classes []int64) float64 {
+	if len(sizes) == 0 || len(classes) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), classes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var payload, consumed int64
+	for _, s := range sizes {
+		payload += s
+		// Smallest class >= s; oversized messages take ceil(n/max)
+		// buffers of the largest class.
+		idx := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= s })
+		if idx < len(sorted) {
+			consumed += sorted[idx]
+			continue
+		}
+		max := sorted[len(sorted)-1]
+		bufs := (s + max - 1) / max
+		consumed += bufs * max
+	}
+	return float64(payload) / float64(consumed)
+}
+
+// LITERingUtilization returns payload bytes divided by ring bytes
+// consumed by LITE's write-imm RPC: a fixed header per message plus
+// 8-byte slot alignment.
+func LITERingUtilization(sizes []int64) float64 {
+	const hdr = 20 // matches the lite package's ring header
+	var payload, consumed int64
+	for _, s := range sizes {
+		payload += s
+		consumed += (s + hdr + 7) &^ 7
+	}
+	if consumed == 0 {
+		return 0
+	}
+	return float64(payload) / float64(consumed)
+}

@@ -1,0 +1,89 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAtCallbackRunsAtTime(t *testing.T) {
+	e := NewEnv()
+	var fired Time
+	e.At(5*time.Microsecond, func(env *Env) { fired = env.Now() })
+	e.Go("main", func(p *Proc) { p.Sleep(10 * time.Microsecond) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 5*time.Microsecond {
+		t.Fatalf("fired at %v", fired)
+	}
+}
+
+func TestAtInThePastFiresNow(t *testing.T) {
+	e := NewEnv()
+	var fired Time = -1
+	e.Go("main", func(p *Proc) {
+		p.Sleep(10 * time.Microsecond)
+		p.Env().At(3*time.Microsecond, func(env *Env) { fired = env.Now() })
+		p.Sleep(time.Microsecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 10*time.Microsecond {
+		t.Fatalf("past callback fired at %v, want now (10us)", fired)
+	}
+}
+
+func TestCallbackCanWakeProcess(t *testing.T) {
+	e := NewEnv()
+	var c Cond
+	woken := false
+	e.After(4*time.Microsecond, func(env *Env) { c.Signal(env) })
+	e.Go("waiter", func(p *Proc) {
+		c.Wait(p)
+		woken = true
+		if p.Now() != 4*time.Microsecond {
+			t.Errorf("woken at %v", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !woken {
+		t.Fatal("never woken")
+	}
+}
+
+func TestCallbacksDoNotKeepRunAlive(t *testing.T) {
+	e := NewEnv()
+	fired := false
+	e.At(100*time.Microsecond, func(*Env) { fired = true })
+	e.Go("main", func(p *Proc) { p.Sleep(time.Microsecond) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("callback after the last live process should not run")
+	}
+	if e.Now() != time.Microsecond {
+		t.Fatalf("now = %v", e.Now())
+	}
+}
+
+func TestCallbackOrderingWithinInstant(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(time.Microsecond, func(*Env) { order = append(order, i) })
+	}
+	e.Go("main", func(p *Proc) { p.Sleep(2 * time.Microsecond) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO by scheduling", order)
+		}
+	}
+}

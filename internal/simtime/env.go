@@ -1,0 +1,338 @@
+// Package simtime implements a deterministic discrete-event simulation
+// kernel with virtual time.
+//
+// A simulation is driven by an Env. Application code runs inside
+// processes (Proc), each backed by a goroutine. The scheduler enforces
+// that exactly one process executes at any instant, which makes the
+// simulation deterministic and lets process code mutate shared state
+// without additional locking: every handoff between processes goes
+// through a channel, establishing the necessary happens-before edges.
+//
+// Virtual time only advances when every process is blocked; it then
+// jumps to the earliest pending event. Processes block by sleeping
+// (Sleep, SleepUntil), by waiting on virtual synchronization primitives
+// (Mutex, Cond, Semaphore, Chan), or by queueing on a Server resource.
+//
+// Processes marked as daemons (GoDaemon) do not keep the simulation
+// alive: Run returns once every non-daemon process has finished, which
+// is how long-lived background pollers are modeled.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Time is an absolute virtual timestamp, measured as a duration since
+// the simulation epoch (time zero, when Run starts).
+type Time = time.Duration
+
+// WakeReason reports why a parked process resumed.
+type WakeReason int
+
+const (
+	// WakeTimer indicates the process resumed because a timer it armed
+	// (Sleep or a wait timeout) expired.
+	WakeTimer WakeReason = iota
+	// WakeSignal indicates the process resumed because another process
+	// signaled it (cond signal, mutex handoff, channel operation, ...).
+	WakeSignal
+)
+
+// Env is a discrete-event simulation environment. Create one with
+// NewEnv, spawn processes with Go/GoDaemon, then call Run.
+type Env struct {
+	now     Time
+	seq     int64
+	evq     eventHeap
+	parkCh  chan struct{}
+	nextPID int
+
+	live    int // non-daemon procs that have not finished
+	procs   map[int]*Proc
+	stopped bool
+	limit   Time // 0 means no limit
+}
+
+type event struct {
+	t      Time
+	seq    int64
+	p      *Proc
+	gen    uint64
+	reason WakeReason
+	fn     func(*Env) // callback event: runs in scheduler context
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// NewEnv returns an empty simulation environment at virtual time zero.
+func NewEnv() *Env {
+	return &Env{
+		parkCh: make(chan struct{}),
+		procs:  make(map[int]*Proc),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// SetLimit makes Run stop once virtual time reaches t, even if
+// non-daemon processes are still live. A zero limit means no limit.
+func (e *Env) SetLimit(t Time) { e.limit = t }
+
+// Proc is a simulated process (thread of execution) inside an Env.
+type Proc struct {
+	env    *Env
+	id     int
+	name   string
+	resume chan WakeReason
+	gen    uint64
+	parked bool
+	done   bool
+	daemon bool
+
+	cpu *CPUAccount
+}
+
+// Env returns the environment this process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Go spawns a new process that starts at the current virtual time.
+// The simulation (Run) will not finish until fn returns.
+func (e *Env) Go(name string, fn func(*Proc)) *Proc {
+	return e.spawn(name, fn, false)
+}
+
+// GoDaemon spawns a background process that does not keep the
+// simulation alive: Run returns once all non-daemon processes finish,
+// abandoning any daemons still blocked or sleeping.
+func (e *Env) GoDaemon(name string, fn func(*Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Env) spawn(name string, fn func(*Proc), daemon bool) *Proc {
+	e.nextPID++
+	p := &Proc{
+		env:    e,
+		id:     e.nextPID,
+		name:   name,
+		resume: make(chan WakeReason),
+		gen:    1,
+		parked: true,
+		daemon: daemon,
+	}
+	e.procs[p.id] = p
+	if !daemon {
+		e.live++
+	}
+	go func() {
+		r := <-p.resume
+		_ = r
+		fn(p)
+		p.done = true
+		p.parked = false
+		e.parkCh <- struct{}{}
+	}()
+	e.wakeAt(e.now, p, p.gen, WakeSignal)
+	return p
+}
+
+// wakeAt schedules a wakeup for p at time t, provided p is still in
+// generation gen when the event fires. Stale events are skipped.
+func (e *Env) wakeAt(t Time, p *Proc, gen uint64, reason WakeReason) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.evq, &event{t: t, seq: e.seq, p: p, gen: gen, reason: reason})
+}
+
+// At schedules fn to run at virtual time t (or now, if t is in the
+// past). The callback executes in scheduler context while every
+// process is parked: it may mutate shared state and wake processes
+// (for example via Cond.Signal), but it must not block. Callbacks are
+// used to model asynchronous hardware activity such as NIC delivery.
+func (e *Env) At(t Time, fn func(*Env)) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.evq, &event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now; see At.
+func (e *Env) After(d Time, fn func(*Env)) { e.At(e.now+d, fn) }
+
+// prepareWait opens a new wait generation for p and returns it. Any
+// wake source armed for this wait must capture the returned generation.
+func (p *Proc) prepareWait() uint64 {
+	p.gen++
+	return p.gen
+}
+
+// park blocks the calling process until a wake event for its current
+// generation fires, and returns the reason for the wakeup.
+func (p *Proc) park() WakeReason {
+	p.parked = true
+	p.env.parkCh <- struct{}{}
+	return <-p.resume
+}
+
+// Sleep suspends the process for virtual duration d.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.SleepUntil(p.env.now + d)
+}
+
+// SleepUntil suspends the process until virtual time t.
+func (p *Proc) SleepUntil(t Time) {
+	gen := p.prepareWait()
+	p.env.wakeAt(t, p, gen, WakeTimer)
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting any other
+// process with a pending event at this instant run first.
+func (p *Proc) Yield() {
+	gen := p.prepareWait()
+	p.env.wakeAt(p.env.now, p, gen, WakeTimer)
+	p.park()
+}
+
+// DeadlockError reports that the simulation stalled: live non-daemon
+// processes remain but no event can wake any process.
+type DeadlockError struct {
+	// Parked lists the names of processes that were still blocked.
+	Parked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("simtime: deadlock with %d parked process(es): %v", len(e.Parked), e.Parked)
+}
+
+// Run executes the simulation until all non-daemon processes finish,
+// the time limit (if set) is reached, or no progress is possible. It
+// returns a *DeadlockError in the latter case and nil otherwise.
+func (e *Env) Run() error {
+	for {
+		if e.live == 0 {
+			return nil
+		}
+		var ev *event
+		for e.evq.Len() > 0 {
+			c := heap.Pop(&e.evq).(*event)
+			if c.fn != nil {
+				if e.limit > 0 && c.t > e.limit {
+					return nil
+				}
+				if c.t > e.now {
+					e.now = c.t
+				}
+				c.fn(e)
+				continue
+			}
+			if c.gen == c.p.gen && c.p.parked && !c.p.done {
+				ev = c
+				break
+			}
+		}
+		if ev == nil {
+			return e.deadlock()
+		}
+		if e.limit > 0 && ev.t > e.limit {
+			return nil
+		}
+		if ev.t > e.now {
+			e.now = ev.t
+		}
+		ev.p.parked = false
+		ev.p.resume <- ev.reason
+		<-e.parkCh
+		if ev.p.done {
+			delete(e.procs, ev.p.id)
+			if !ev.p.daemon {
+				e.live--
+			}
+		}
+	}
+}
+
+func (e *Env) deadlock() error {
+	var parked []string
+	for _, p := range e.procs {
+		if p.parked && !p.done && !p.daemon {
+			parked = append(parked, p.name)
+		}
+	}
+	sort.Strings(parked)
+	return &DeadlockError{Parked: parked}
+}
+
+// CPUAccount accumulates the busy CPU time charged by one or more
+// processes. It is used to reproduce the paper's CPU-utilization
+// comparisons: real work and busy-polling are charged, blocking sleep
+// is not.
+type CPUAccount struct {
+	busy Time
+}
+
+// Busy returns the accumulated busy CPU time.
+func (a *CPUAccount) Busy() Time {
+	if a == nil {
+		return 0
+	}
+	return a.busy
+}
+
+// Charge adds d of busy time to the account.
+func (a *CPUAccount) Charge(d Time) {
+	if a != nil && d > 0 {
+		a.busy += d
+	}
+}
+
+// SetCPUAccount attaches an account to the process; subsequent Work
+// calls (and busy-waits that the caller charges) accrue to it.
+func (p *Proc) SetCPUAccount(a *CPUAccount) { p.cpu = a }
+
+// CPUAccount returns the account attached to the process, or nil.
+func (p *Proc) CPUAccount() *CPUAccount { return p.cpu }
+
+// Work advances virtual time by d and charges d of busy CPU time to
+// the process's account. Use it for computation, memory copies, and
+// any activity that occupies a core; use Sleep for idle waiting.
+func (p *Proc) Work(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.cpu.Charge(d)
+	p.Sleep(d)
+}

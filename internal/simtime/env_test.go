@@ -1,0 +1,202 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	e := NewEnv()
+	var end Time
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Microsecond)
+		p.Sleep(3 * time.Microsecond)
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 8*time.Microsecond {
+		t.Fatalf("end = %v, want 8µs", end)
+	}
+}
+
+func TestZeroAndNegativeSleep(t *testing.T) {
+	e := NewEnv()
+	e.Go("p", func(p *Proc) {
+		p.Sleep(0)
+		p.Sleep(-time.Second)
+		if p.Now() != 0 {
+			t.Errorf("now = %v, want 0", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEnv()
+		var order []string
+		for _, spec := range []struct {
+			name string
+			d    Time
+		}{{"a", 3 * time.Microsecond}, {"b", 1 * time.Microsecond}, {"c", 2 * time.Microsecond}} {
+			spec := spec
+			e.Go(spec.name, func(p *Proc) {
+				p.Sleep(spec.d)
+				order = append(order, spec.name)
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := run()
+	if len(first) != 3 || first[0] != "b" || first[1] != "c" || first[2] != "a" {
+		t.Fatalf("order = %v, want [b c a]", first)
+	}
+	for i := 0; i < 20; i++ {
+		again := run()
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("run %d nondeterministic: %v vs %v", i, first, again)
+			}
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			p.Sleep(time.Microsecond)
+			order = append(order, i)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending spawn order", order)
+		}
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEnv()
+	var c Cond
+	e.Go("stuck", func(p *Proc) {
+		c.Wait(p)
+	})
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(de.Parked) != 1 || de.Parked[0] != "stuck" {
+		t.Fatalf("parked = %v", de.Parked)
+	}
+}
+
+func TestDaemonDoesNotKeepSimulationAlive(t *testing.T) {
+	e := NewEnv()
+	e.GoDaemon("poller", func(p *Proc) {
+		for {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	e.Go("main", func(p *Proc) {
+		p.Sleep(10 * time.Microsecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 10*time.Microsecond {
+		t.Fatalf("now = %v, want 10µs", e.Now())
+	}
+}
+
+func TestSpawnFromWithinProcess(t *testing.T) {
+	e := NewEnv()
+	var childRan bool
+	e.Go("parent", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		p.env.Go("child", func(q *Proc) {
+			q.Sleep(time.Microsecond)
+			childRan = true
+		})
+		p.Sleep(5 * time.Microsecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Fatal("child never ran")
+	}
+}
+
+func TestSetLimitStopsRun(t *testing.T) {
+	e := NewEnv()
+	e.SetLimit(5 * time.Microsecond)
+	progress := 0
+	e.Go("long", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(time.Microsecond)
+			progress++
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if progress < 4 || progress > 5 {
+		t.Fatalf("progress = %d, want ~5", progress)
+	}
+}
+
+func TestWorkChargesCPU(t *testing.T) {
+	e := NewEnv()
+	acct := &CPUAccount{}
+	e.Go("worker", func(p *Proc) {
+		p.SetCPUAccount(acct)
+		p.Work(4 * time.Microsecond)
+		p.Sleep(10 * time.Microsecond) // idle: not charged
+		p.Work(6 * time.Microsecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if acct.Busy() != 10*time.Microsecond {
+		t.Fatalf("busy = %v, want 10µs", acct.Busy())
+	}
+	if e.Now() != 20*time.Microsecond {
+		t.Fatalf("now = %v, want 20µs", e.Now())
+	}
+}
+
+func TestYieldLetsPeersRun(t *testing.T) {
+	e := NewEnv()
+	var order []string
+	e.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Go("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

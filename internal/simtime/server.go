@@ -1,0 +1,169 @@
+package simtime
+
+import "sort"
+
+// Server models a work-conserving FIFO service facility: each request
+// occupies the facility for its service time. It is the building block
+// for link bandwidth, NIC processing pipelines, DMA engines, and other
+// shared serial resources.
+//
+// Reservations may be issued out of time order (an operation posted
+// now reserves stages of its pipeline at future instants), so the
+// facility keeps a list of busy intervals and places each request in
+// the earliest gap at or after its arrival — a later-issued request
+// arriving earlier in virtual time slots into idle capacity instead of
+// queueing behind far-future reservations.
+//
+// Because the simulation kernel serializes processes, Server needs no
+// locking.
+type Server struct {
+	// busy holds non-overlapping reserved intervals sorted by start.
+	busy []interval
+	acc  Time // total busy time, for utilization reporting
+}
+
+type interval struct {
+	start, end Time
+}
+
+// maxIntervals bounds the busy list; when exceeded, the oldest
+// intervals are coalesced into one (they lie in the past of every
+// future reservation in any realistic workload).
+const maxIntervals = 1024
+
+// Reserve books a request with service time d arriving at time at and
+// returns its completion instant. The request takes the earliest idle
+// gap of length d starting at or after at.
+func (s *Server) Reserve(at Time, d Time) Time {
+	if d < 0 {
+		d = 0
+	}
+	s.acc += d
+	if d == 0 {
+		// Zero-length requests complete at their queue position
+		// without occupying the facility.
+		return s.nextFree(at)
+	}
+	// Find the first interval ending after at.
+	i := sort.Search(len(s.busy), func(k int) bool { return s.busy[k].end > at })
+	start := at
+	for ; i < len(s.busy); i++ {
+		if start+d <= s.busy[i].start {
+			break // fits in the gap before interval i
+		}
+		if s.busy[i].end > start {
+			start = s.busy[i].end
+		}
+	}
+	s.insert(interval{start, start + d}, i)
+	return start + d
+}
+
+// nextFree returns the earliest idle instant at or after at.
+func (s *Server) nextFree(at Time) Time {
+	i := sort.Search(len(s.busy), func(k int) bool { return s.busy[k].end > at })
+	t := at
+	for ; i < len(s.busy); i++ {
+		if t < s.busy[i].start {
+			return t
+		}
+		t = s.busy[i].end
+	}
+	return t
+}
+
+// insert places iv at index i, merging with touching neighbors.
+func (s *Server) insert(iv interval, i int) {
+	// Merge with predecessor if touching.
+	if i > 0 && s.busy[i-1].end == iv.start {
+		s.busy[i-1].end = iv.end
+		// Merge with successor too if now touching.
+		if i < len(s.busy) && s.busy[i-1].end == s.busy[i].start {
+			s.busy[i-1].end = s.busy[i].end
+			s.busy = append(s.busy[:i], s.busy[i+1:]...)
+		}
+		return
+	}
+	if i < len(s.busy) && iv.end == s.busy[i].start {
+		s.busy[i].start = iv.start
+		return
+	}
+	s.busy = append(s.busy, interval{})
+	copy(s.busy[i+1:], s.busy[i:])
+	s.busy[i] = iv
+	if len(s.busy) > maxIntervals {
+		// Coalesce the oldest half into one block; those gaps are in
+		// the distant past of any future arrival.
+		keep := len(s.busy) / 2
+		s.busy[keep-1].start = s.busy[0].start
+		s.busy = append(s.busy[:keep-1], s.busy[keep-1:]...)
+		copy(s.busy, s.busy[keep-1:])
+		s.busy = s.busy[:len(s.busy)-(keep-1)]
+	}
+}
+
+// Process enqueues a request with service time d, blocks the caller
+// until it completes, and returns the completion time.
+func (s *Server) Process(p *Proc, d Time) Time {
+	t := s.Reserve(p.Now(), d)
+	p.SleepUntil(t)
+	return t
+}
+
+// FreeAt returns the instant the facility next becomes idle after all
+// current reservations.
+func (s *Server) FreeAt() Time {
+	if len(s.busy) == 0 {
+		return 0
+	}
+	return s.busy[len(s.busy)-1].end
+}
+
+// BusyTotal returns the total busy time accumulated by the facility.
+func (s *Server) BusyTotal() Time { return s.acc }
+
+// MultiServer models a facility with k parallel servers, such as a
+// multi-engine NIC or a pool of DMA channels. Each request goes to the
+// server that can complete it earliest.
+type MultiServer struct {
+	servers []Server
+}
+
+// NewMultiServer returns a facility with k parallel servers.
+func NewMultiServer(k int) *MultiServer {
+	if k < 1 {
+		k = 1
+	}
+	return &MultiServer{servers: make([]Server, k)}
+}
+
+// Process enqueues a request with service time d, blocks the caller
+// until it completes, and returns the completion time.
+func (m *MultiServer) Process(p *Proc, d Time) Time {
+	t := m.Reserve(p.Now(), d)
+	p.SleepUntil(t)
+	return t
+}
+
+// Reserve books a request with service time d arriving at time at on
+// the server that finishes it earliest and returns that instant.
+func (m *MultiServer) Reserve(at Time, d Time) Time {
+	best := 0
+	var bestDone Time = -1
+	for i := range m.servers {
+		done := m.servers[i].nextFree(at) + d
+		if bestDone < 0 || done < bestDone {
+			best, bestDone = i, done
+		}
+	}
+	return m.servers[best].Reserve(at, d)
+}
+
+// BusyTotal returns the total busy time accumulated across servers.
+func (m *MultiServer) BusyTotal() Time {
+	var t Time
+	for i := range m.servers {
+		t += m.servers[i].BusyTotal()
+	}
+	return t
+}

@@ -1,0 +1,98 @@
+package verbs
+
+import (
+	"testing"
+	"time"
+
+	"lite/internal/rnic"
+	"lite/internal/simtime"
+)
+
+func TestTryPollCQ(t *testing.T) {
+	env, _, a, _ := newPair(t)
+	env.Go("p", func(p *simtime.Proc) {
+		cq := a.CreateCQ()
+		if _, ok := a.TryPollCQ(p, cq); ok {
+			t.Error("TryPoll on empty CQ succeeded")
+		}
+		cq.Push(p.Env(), rnic.CQE{WRID: 9})
+		cqe, ok := a.TryPollCQ(p, cq)
+		if !ok || cqe.WRID != 9 {
+			t.Errorf("cqe = %+v ok = %v", cqe, ok)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPostRecvChargesDoorbell(t *testing.T) {
+	env, cfg, a, _ := newPair(t)
+	env.Go("p", func(p *simtime.Proc) {
+		pa, _ := a.NIC().Mem().AllocContiguous(4096)
+		mr, _ := a.RegisterPhysMR(p, pa, 4096, rnic.PermRead|rnic.PermWrite)
+		qp := a.CreateQP(rnic.UD, a.CreateCQ(), a.CreateCQ())
+		start := p.Now()
+		if err := a.PostRecv(p, qp, rnic.PostedRecv{MR: mr, Len: 64, WRID: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if p.Now()-start != cfg.NICDoorbell {
+			t.Errorf("post recv cost %v, want %v", p.Now()-start, cfg.NICDoorbell)
+		}
+		if qp.RecvPosted() != 1 {
+			t.Errorf("posted = %d", qp.RecvPosted())
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitQuietDoesNotChargeCPU(t *testing.T) {
+	env, _, a, _ := newPair(t)
+	acct := &simtime.CPUAccount{}
+	cq := a.CreateCQ()
+	disp := NewDispatcher(cq)
+	env.After(20*time.Microsecond, func(e *simtime.Env) {
+		cq.Push(e, rnic.CQE{WRID: 1})
+	})
+	env.Go("waiter", func(p *simtime.Proc) {
+		p.SetCPUAccount(acct)
+		cqe := disp.WaitQuiet(p, 1)
+		if cqe.WRID != 1 {
+			t.Errorf("cqe = %+v", cqe)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if acct.Busy() != 0 {
+		t.Fatalf("WaitQuiet charged %v of CPU", acct.Busy())
+	}
+}
+
+func TestWaitQuietStashesForeignCompletions(t *testing.T) {
+	env, _, a, _ := newPair(t)
+	cq := a.CreateCQ()
+	disp := NewDispatcher(cq)
+	got := make(map[uint64]bool)
+	// Two quiet waiters; completions arrive in reverse order.
+	for _, id := range []uint64{1, 2} {
+		id := id
+		env.Go("waiter", func(p *simtime.Proc) {
+			p.SetCPUAccount(&simtime.CPUAccount{})
+			cqe := disp.WaitQuiet(p, id)
+			got[cqe.WRID] = true
+		})
+	}
+	env.After(time.Microsecond, func(e *simtime.Env) {
+		cq.Push(e, rnic.CQE{WRID: 2})
+		cq.Push(e, rnic.CQE{WRID: 1})
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !got[1] || !got[2] {
+		t.Fatalf("got = %v", got)
+	}
+}

@@ -1,0 +1,159 @@
+package verbs
+
+import (
+	"testing"
+	"time"
+
+	"lite/internal/fabric"
+	"lite/internal/hostmem"
+	"lite/internal/params"
+	"lite/internal/rnic"
+	"lite/internal/simtime"
+)
+
+func newPair(t *testing.T) (*simtime.Env, *params.Config, *Context, *Context) {
+	t.Helper()
+	cfg := params.Default()
+	env := simtime.NewEnv()
+	reg := rnic.NewRegistry(env, &cfg, fabric.New(&cfg))
+	var ctxs []*Context
+	for i := 0; i < 2; i++ {
+		mem := hostmem.New(1<<30, cfg.PageSize)
+		nic, err := reg.NewNIC(i, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctxs = append(ctxs, Open(nic, hostmem.NewAddressSpace(mem)))
+	}
+	return env, &cfg, ctxs[0], ctxs[1]
+}
+
+func TestRegisterMRChargesPinning(t *testing.T) {
+	env, cfg, a, _ := newPair(t)
+	env.Go("p", func(p *simtime.Proc) {
+		va, err := a.AddressSpace().Map(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := p.Now()
+		mr, err := a.RegisterMR(p, va, 1<<20, rnic.PermRead|rnic.PermWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regTime := p.Now() - start
+		pages := int64(1<<20) / cfg.PageSize
+		want := cfg.MRRegisterBase + simtime.Time(pages)*cfg.PinPerPage
+		if regTime != want {
+			t.Errorf("register time = %v, want %v", regTime, want)
+		}
+		// Physical registration is O(1) regardless of size.
+		pa, _ := a.NIC().Mem().AllocContiguous(64 << 20)
+		start = p.Now()
+		if _, err := a.RegisterPhysMR(p, pa, 64<<20, rnic.PermRead); err != nil {
+			t.Fatal(err)
+		}
+		if physTime := p.Now() - start; physTime >= regTime {
+			t.Errorf("phys registration (%v) should be far cheaper than pinned (%v)", physTime, regTime)
+		}
+		if err := a.DeregisterMR(p, mr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockingWriteViaDispatcher(t *testing.T) {
+	env, _, a, b := newPair(t)
+	env.Go("p", func(p *simtime.Proc) {
+		pa, _ := a.NIC().Mem().AllocContiguous(4096)
+		lmr, _ := a.RegisterPhysMR(p, pa, 4096, rnic.PermRead|rnic.PermWrite)
+		pb, _ := b.NIC().Mem().AllocContiguous(4096)
+		rmr, _ := b.RegisterPhysMR(p, pb, 4096, rnic.PermRead|rnic.PermWrite)
+		qa, _ := ConnectRC(a, b)
+		disp := NewDispatcher(qa.SendCQ())
+
+		_ = lmr.WriteAt(0, []byte("dispatch me"))
+		if err := a.PostSend(p, qa, rnic.WR{
+			Kind: rnic.OpWrite, WRID: 42, Signaled: true,
+			LocalMR: lmr, Len: 11, RemoteKey: rmr.Key(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		cqe := disp.Wait(p, 42)
+		if cqe.Status != rnic.StatusOK {
+			t.Fatalf("status = %v", cqe.Status)
+		}
+		got := make([]byte, 11)
+		_ = rmr.ReadAt(0, got)
+		if string(got) != "dispatch me" {
+			t.Fatalf("got %q", got)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDispatcherDemultiplexesByWRID(t *testing.T) {
+	env, _, a, b := newPair(t)
+	pa, _ := a.NIC().Mem().AllocContiguous(4096)
+	pb, _ := b.NIC().Mem().AllocContiguous(4096)
+	var lmr, rmr *rnic.MR
+	var qa *rnic.QP
+	var disp *Dispatcher
+	env.Go("setup", func(p *simtime.Proc) {
+		lmr, _ = a.RegisterPhysMR(p, pa, 4096, rnic.PermRead|rnic.PermWrite)
+		rmr, _ = b.RegisterPhysMR(p, pb, 4096, rnic.PermRead|rnic.PermWrite)
+		qa, _ = ConnectRC(a, b)
+		disp = NewDispatcher(qa.SendCQ())
+		// Two writers wait on different WRIDs; completions arrive in
+		// posting order, but each writer gets exactly its own.
+		for k := 1; k <= 2; k++ {
+			k := k
+			p.Env().Go("writer", func(q *simtime.Proc) {
+				q.SetCPUAccount(&simtime.CPUAccount{})
+				// Stagger so writer 2 posts first.
+				q.Sleep(simtime.Time(3-k) * time.Microsecond)
+				_ = a.PostSend(q, qa, rnic.WR{
+					Kind: rnic.OpWrite, WRID: uint64(k), Signaled: true,
+					LocalMR: lmr, Len: 8, RemoteKey: rmr.Key(), RemoteOff: int64(k * 64),
+				})
+				cqe := disp.Wait(q, uint64(k))
+				if cqe.WRID != uint64(k) {
+					t.Errorf("writer %d got wrid %d", k, cqe.WRID)
+				}
+			})
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPollCQChargesCPU(t *testing.T) {
+	env, _, a, b := newPair(t)
+	acct := &simtime.CPUAccount{}
+	env.Go("p", func(p *simtime.Proc) {
+		p.SetCPUAccount(acct)
+		pa, _ := a.NIC().Mem().AllocContiguous(4096)
+		lmr, _ := a.RegisterPhysMR(p, pa, 4096, rnic.PermRead|rnic.PermWrite)
+		pb, _ := b.NIC().Mem().AllocContiguous(4096)
+		rmr, _ := b.RegisterPhysMR(p, pb, 4096, rnic.PermRead|rnic.PermWrite)
+		qa, _ := ConnectRC(a, b)
+		before := acct.Busy()
+		_ = a.PostSend(p, qa, rnic.WR{
+			Kind: rnic.OpWrite, WRID: 1, Signaled: true,
+			LocalMR: lmr, Len: 64, RemoteKey: rmr.Key(),
+		})
+		_ = a.PollCQ(p, qa.SendCQ())
+		spin := acct.Busy() - before
+		if spin < time.Microsecond {
+			t.Errorf("busy-poll charged only %v; native pollers must spin", spin)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package workload generates the synthetic inputs the evaluation
+// needs: the Facebook ETC key-value distribution used by Figures 12
+// and 13 (Atikoglu et al., SIGMETRICS'12 [3]), power-law graphs
+// standing in for the Twitter graph of Figure 19, and a Zipf text
+// corpus standing in for the Wikimedia dump of Figure 18.
+//
+// All generators are deterministic given a seed so experiments are
+// reproducible.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// FacebookKV generates key sizes, value sizes, and inter-arrival times
+// following the published fits for Facebook's ETC memcached pool:
+// generalized-extreme-value key sizes, generalized-Pareto value sizes,
+// and generalized-Pareto inter-arrival gaps.
+type FacebookKV struct {
+	rng *rand.Rand
+}
+
+// NewFacebookKV returns a generator with the given seed.
+func NewFacebookKV(seed int64) *FacebookKV {
+	return &FacebookKV{rng: rand.New(rand.NewSource(seed))}
+}
+
+// KeySize draws one key size in bytes (GEV(30.7, 8.2, 0.078),
+// clamped to memcached's 1..250 range).
+func (f *FacebookKV) KeySize() int64 {
+	const mu, sigma, k = 30.7, 8.2, 0.078
+	u := f.rng.Float64()
+	// Inverse CDF of the generalized extreme value distribution.
+	x := mu + sigma*(math.Pow(-math.Log(u), -k)-1)/k
+	if x < 1 {
+		x = 1
+	}
+	if x > 250 {
+		x = 250
+	}
+	return int64(x)
+}
+
+// ValueSize draws one value size in bytes (generalized Pareto with
+// sigma=214.5, k=0.348, capped at 1 MB as in memcached).
+func (f *FacebookKV) ValueSize() int64 {
+	const sigma, k = 214.5, 0.348
+	u := f.rng.Float64()
+	x := sigma * (math.Pow(1-u, -k) - 1) / k
+	if x < 1 {
+		x = 1
+	}
+	if x > 1<<20 {
+		x = 1 << 20
+	}
+	return int64(x)
+}
+
+// InterArrival draws one request inter-arrival gap (generalized
+// Pareto with sigma=16.0us, k=0.155).
+func (f *FacebookKV) InterArrival() time.Duration {
+	const sigmaUS, k = 16.0, 0.155
+	u := f.rng.Float64()
+	x := sigmaUS * (math.Pow(1-u, -k) - 1) / k
+	return time.Duration(x * float64(time.Microsecond))
+}
+
+// Zipf draws integers in [0, n) with a Zipf distribution of exponent s.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf returns a Zipf sampler over [0, n).
+func NewZipf(seed int64, s float64, n uint64) *Zipf {
+	if s <= 1 {
+		s = 1.01
+	}
+	r := rand.New(rand.NewSource(seed))
+	return &Zipf{z: rand.NewZipf(r, s, 1, n-1)}
+}
+
+// Next draws one sample.
+func (z *Zipf) Next() uint64 { return z.z.Uint64() }
+
+// Graph is a directed power-law graph in compressed adjacency form.
+type Graph struct {
+	NumVertices int
+	// Offsets[v]..Offsets[v+1] index Edges with v's out-neighbors.
+	Offsets []int32
+	Edges   []int32
+}
+
+// NewPowerLawGraph generates a graph with the given vertex and edge
+// counts whose out-degrees follow a Zipf distribution — the shape of
+// natural graphs like the Twitter follower graph the paper evaluates
+// on (power-law graphs are exactly what PowerGraph's vertex cuts
+// target).
+func NewPowerLawGraph(seed int64, vertices, edges int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	zipfSrc := rand.NewZipf(rng, 1.8, 1, uint64(vertices-1))
+	// Draw out-degrees proportional to a Zipf sample per vertex, then
+	// scale to the requested edge count.
+	deg := make([]float64, vertices)
+	var total float64
+	for v := range deg {
+		deg[v] = float64(zipfSrc.Uint64() + 1)
+		total += deg[v]
+	}
+	offsets := make([]int32, vertices+1)
+	counts := make([]int32, vertices)
+	assigned := 0
+	for v := range deg {
+		c := int(deg[v] / total * float64(edges))
+		counts[v] = int32(c)
+		assigned += c
+	}
+	for assigned < edges {
+		counts[rng.Intn(vertices)]++
+		assigned++
+	}
+	for v := 0; v < vertices; v++ {
+		offsets[v+1] = offsets[v] + counts[v]
+	}
+	es := make([]int32, offsets[vertices])
+	for idx := range es {
+		es[idx] = int32(rng.Intn(vertices))
+	}
+	return &Graph{NumVertices: vertices, Offsets: offsets, Edges: es}
+}
+
+// OutDegree returns vertex v's out-degree.
+func (g *Graph) OutDegree(v int) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// OutNeighbors returns vertex v's out-neighbor slice (do not modify).
+func (g *Graph) OutNeighbors(v int) []int32 {
+	return g.Edges[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// Transpose returns the reversed graph (in-neighbors become
+// out-neighbors), which PageRank's gather step needs.
+func (g *Graph) Transpose() *Graph {
+	counts := make([]int32, g.NumVertices)
+	for _, d := range g.Edges {
+		counts[d]++
+	}
+	offsets := make([]int32, g.NumVertices+1)
+	for v := 0; v < g.NumVertices; v++ {
+		offsets[v+1] = offsets[v] + counts[v]
+	}
+	es := make([]int32, len(g.Edges))
+	cursor := make([]int32, g.NumVertices)
+	copy(cursor, offsets[:g.NumVertices])
+	for src := 0; src < g.NumVertices; src++ {
+		for _, dst := range g.OutNeighbors(src) {
+			es[cursor[dst]] = int32(src)
+			cursor[dst]++
+		}
+	}
+	return &Graph{NumVertices: g.NumVertices, Offsets: offsets, Edges: es}
+}
+
+// Corpus generates a synthetic text corpus with a Zipf word
+// distribution, standing in for the Wikimedia dump of Figure 18.
+type Corpus struct {
+	// Words holds the vocabulary.
+	Words []string
+	zipf  *Zipf
+}
+
+// NewCorpus builds a vocabulary of the given size.
+func NewCorpus(seed int64, vocab int) *Corpus {
+	words := make([]string, vocab)
+	letters := []byte("abcdefghijklmnopqrstuvwxyz")
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, vocab)
+	for i := range words {
+		for {
+			n := 3 + rng.Intn(8)
+			b := make([]byte, n)
+			for j := range b {
+				b[j] = letters[rng.Intn(len(letters))]
+			}
+			w := string(b)
+			if !seen[w] {
+				seen[w] = true
+				words[i] = w
+				break
+			}
+		}
+	}
+	return &Corpus{Words: words, zipf: NewZipf(seed+1, 1.6, uint64(vocab))}
+}
+
+// Generate produces approximately n bytes of space-separated text.
+func (c *Corpus) Generate(n int) []byte {
+	out := make([]byte, 0, n+16)
+	for len(out) < n {
+		w := c.Words[c.zipf.Next()]
+		out = append(out, w...)
+		out = append(out, ' ')
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+)
+
+func TestFacebookKVShapes(t *testing.T) {
+	f := NewFacebookKV(1)
+	const n = 20000
+	var keys, vals []int64
+	for i := 0; i < n; i++ {
+		keys = append(keys, f.KeySize())
+		vals = append(vals, f.ValueSize())
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	// Keys are tens of bytes, tightly clustered.
+	if med := keys[n/2]; med < 20 || med > 60 {
+		t.Fatalf("median key size = %d, want ~30", med)
+	}
+	if keys[n-1] > 250 || keys[0] < 1 {
+		t.Fatalf("key range [%d, %d] outside memcached bounds", keys[0], keys[n-1])
+	}
+	// Values are small at the median but heavy tailed.
+	if med := vals[n/2]; med < 50 || med > 1000 {
+		t.Fatalf("median value size = %d, want a few hundred bytes", med)
+	}
+	if p99 := vals[n*99/100]; p99 < 2*vals[n/2] {
+		t.Fatalf("p99 value (%d) should be far above the median (%d)", p99, vals[n/2])
+	}
+	if vals[n-1] > 1<<20 {
+		t.Fatalf("value cap violated: %d", vals[n-1])
+	}
+}
+
+func TestFacebookKVDeterministic(t *testing.T) {
+	a, b := NewFacebookKV(7), NewFacebookKV(7)
+	for i := 0; i < 100; i++ {
+		if a.ValueSize() != b.ValueSize() || a.InterArrival() != b.InterArrival() {
+			t.Fatal("same seed must reproduce the same stream")
+		}
+	}
+}
+
+func TestInterArrivalPositive(t *testing.T) {
+	f := NewFacebookKV(3)
+	var total int64
+	for i := 0; i < 10000; i++ {
+		d := f.InterArrival()
+		if d < 0 {
+			t.Fatalf("negative gap %v", d)
+		}
+		total += int64(d)
+	}
+	mean := total / 10000
+	// GP(16us, 0.155) has mean sigma/(1-k) ≈ 19us.
+	if mean < 10000 || mean > 40000 {
+		t.Fatalf("mean inter-arrival = %dns, want ~19us", mean)
+	}
+}
+
+func TestPowerLawGraphInvariants(t *testing.T) {
+	g := NewPowerLawGraph(1, 1000, 20000)
+	if g.NumVertices != 1000 {
+		t.Fatalf("vertices = %d", g.NumVertices)
+	}
+	if len(g.Edges) != 20000 {
+		t.Fatalf("edges = %d, want 20000", len(g.Edges))
+	}
+	var total int
+	maxDeg := 0
+	for v := 0; v < g.NumVertices; v++ {
+		d := g.OutDegree(v)
+		if d < 0 {
+			t.Fatalf("negative degree at %d", v)
+		}
+		total += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if total != len(g.Edges) {
+		t.Fatalf("degree sum %d != edge count %d", total, len(g.Edges))
+	}
+	// Power law: the hottest vertex has far more than the mean degree.
+	if maxDeg < 5*total/g.NumVertices {
+		t.Fatalf("max degree %d not heavy tailed (mean %d)", maxDeg, total/g.NumVertices)
+	}
+	for _, e := range g.Edges {
+		if e < 0 || int(e) >= g.NumVertices {
+			t.Fatalf("edge target %d out of range", e)
+		}
+	}
+}
+
+func TestTransposePreservesEdges(t *testing.T) {
+	g := NewPowerLawGraph(2, 200, 3000)
+	tr := g.Transpose()
+	if len(tr.Edges) != len(g.Edges) {
+		t.Fatalf("transpose edge count %d != %d", len(tr.Edges), len(g.Edges))
+	}
+	// Every edge u->v in g appears as v->u in tr.
+	type edge struct{ a, b int32 }
+	fwd := make(map[edge]int)
+	for u := 0; u < g.NumVertices; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			fwd[edge{int32(u), v}]++
+		}
+	}
+	for v := 0; v < tr.NumVertices; v++ {
+		for _, u := range tr.OutNeighbors(v) {
+			fwd[edge{u, int32(v)}]--
+		}
+	}
+	for e, c := range fwd {
+		if c != 0 {
+			t.Fatalf("edge %v count mismatch %d", e, c)
+		}
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	c := NewCorpus(1, 500)
+	if len(c.Words) != 500 {
+		t.Fatalf("vocab = %d", len(c.Words))
+	}
+	text := c.Generate(10000)
+	if len(text) < 10000 {
+		t.Fatalf("text len = %d", len(text))
+	}
+	words := bytes.Fields(text)
+	if len(words) < 1000 {
+		t.Fatalf("too few words: %d", len(words))
+	}
+	// Zipf: the most frequent word dominates.
+	freq := make(map[string]int)
+	for _, w := range words {
+		freq[string(w)]++
+	}
+	max := 0
+	for _, c := range freq {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 5*len(words)/len(freq) {
+		t.Fatalf("word frequency not skewed: max %d, words %d, distinct %d", max, len(words), len(freq))
+	}
+}
