@@ -78,3 +78,46 @@ func TestDeltaCachingSkipsUnchangedPartitions(t *testing.T) {
 		t.Fatal("delta-cached run diverges")
 	}
 }
+
+func TestPartitionHealsBeforeRun(t *testing.T) {
+	// A healed partition must leave no residue in the fabric: a full
+	// LITE-Graph run across the former partition boundary converges
+	// exactly as if the cut never happened.
+	g := workload.NewPowerLawGraph(5, 200, 1500)
+	want := RefPageRank(g, 3, 0.85)
+	cls, dep := newLITECluster(t, 4)
+	cls.Fab.Partition([]int{0, 1}, []int{2, 3})
+	if cls.Fab.Reachable(0, 2) || cls.Fab.Reachable(3, 1) {
+		t.Fatal("partition not in effect")
+	}
+	cls.Fab.HealPartition([]int{0, 1}, []int{2, 3})
+	res, err := RunLITE(cls, dep, DefaultConfig([]int{0, 1, 2, 3}, 2, 3), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ranksClose(res.Ranks, want, 1e-12) {
+		t.Fatal("run after healed partition diverges")
+	}
+}
+
+func TestNodeDownBlocksThenHeals(t *testing.T) {
+	// SetNodeDown isolates one node in both directions; SetNodeUp fully
+	// restores it for a subsequent run.
+	g := workload.NewPowerLawGraph(6, 100, 700)
+	want := RefPageRank(g, 2, 0.85)
+	cls, dep := newLITECluster(t, 3)
+	cls.Fab.SetNodeDown(1)
+	for _, pair := range [][2]int{{0, 1}, {1, 0}, {2, 1}, {1, 2}} {
+		if cls.Fab.Reachable(pair[0], pair[1]) {
+			t.Fatalf("downed node still reachable via %v", pair)
+		}
+	}
+	cls.Fab.SetNodeUp(1)
+	res, err := RunLITE(cls, dep, DefaultConfig([]int{0, 1, 2}, 1, 2), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ranksClose(res.Ranks, want, 1e-12) {
+		t.Fatal("run after node revival diverges")
+	}
+}

@@ -62,31 +62,52 @@ type Store struct {
 var storeSeq int
 
 // Start deploys the store's metadata servers on the given nodes. Each
-// server node runs `threads` RPC server threads.
+// server node runs `threads` RPC server threads. A server node that
+// crashes and restarts comes back with an empty index — its values
+// died with it — and its serving threads are re-armed automatically.
 func Start(cls *cluster.Cluster, dep *lite.Deployment, servers []int, threads int) (*Store, error) {
 	storeSeq++
 	s := &Store{cls: cls, dep: dep, servers: servers, id: storeSeq}
-	for _, node := range servers {
-		node := node
-		if err := dep.Instance(node).RegisterRPC(kvFn); err != nil {
-			return nil, err
-		}
-		srv := &server{store: s, node: node, index: make(map[string]*entry)}
+	isServer := make(map[int]bool, len(servers))
+	gen := 0
+	spawn := func(node int) {
+		// Each incarnation gets its own generation number so the value
+		// LMR names it allocates never collide with names its previous
+		// life left behind in the manager directory.
+		gen++
+		srv := &server{store: s, node: node, gen: gen, index: make(map[string]*entry)}
 		for th := 0; th < threads; th++ {
 			cls.GoDaemonOn(node, "kv-server", func(p *simtime.Proc) { srv.loop(p) })
 		}
 	}
+	for _, node := range servers {
+		isServer[node] = true
+		if err := dep.Instance(node).RegisterRPC(kvFn); err != nil {
+			return nil, err
+		}
+		spawn(node)
+	}
+	cls.OnNodeUp(func(p *simtime.Proc, node int) {
+		if isServer[node] {
+			spawn(node)
+		}
+	})
 	return s, nil
 }
 
-// serverFor returns the home server of a key (hash partitioning).
-func (s *Store) serverFor(key string) int {
+// hashKey is FNV-1a over the key, the partitioning hash.
+func hashKey(key string) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
 		h ^= uint32(key[i])
 		h *= 16777619
 	}
-	return s.servers[int(h)%len(s.servers)]
+	return h
+}
+
+// serverFor returns the home server of a key (hash partitioning).
+func (s *Store) serverFor(key string) int {
+	return s.servers[int(hashKey(key))%len(s.servers)]
 }
 
 // entry is one key's server-side metadata.
@@ -101,6 +122,7 @@ type entry struct {
 type server struct {
 	store *Store
 	node  int
+	gen   int
 	index map[string]*entry
 	seq   int
 }
@@ -145,7 +167,7 @@ func (srv *server) put(p *simtime.Proc, c *lite.Client, key string, value []byte
 	e, ok := srv.index[key]
 	if !ok || e.size != total {
 		srv.seq++
-		name := fmt.Sprintf("kv%d-%d-%d", srv.store.id, srv.node, srv.seq)
+		name := fmt.Sprintf("kv%d-%d-g%d-%d", srv.store.id, srv.node, srv.gen, srv.seq)
 		lh, err := c.Malloc(p, total, name, lite.PermRead)
 		if err != nil {
 			return response{}
@@ -177,7 +199,11 @@ type Client struct {
 	store *Store
 	c     *lite.Client
 	// cache maps keys to mapped value handles for the one-sided path.
-	cache map[string]*cachedHandle
+	// It is valid only for one membership epoch: a node death or
+	// rejoin can re-home keys, so a cached handle from an older epoch
+	// might read a value the key no longer routes to.
+	cache      map[string]*cachedHandle
+	cacheEpoch uint64
 	// Stats.
 	OneSidedGets int64
 	MetaLookups  int64
@@ -194,10 +220,40 @@ func (s *Store) NewClient(node int) *Client {
 	return &Client{store: s, c: s.dep.Instance(node).KernelClient(), cache: make(map[string]*cachedHandle)}
 }
 
+// serverFor routes a key from this client's view of the membership: a
+// key whose home server is currently declared dead is deterministically
+// remapped onto the surviving servers (the data it held is lost — the
+// application re-puts on ErrNotFound). If every server looks dead the
+// home mapping is kept, so the error surfaces as ErrNodeDead rather
+// than a panic.
+func (k *Client) serverFor(key string) int {
+	h := hashKey(key)
+	home := k.store.servers[int(h)%len(k.store.servers)]
+	if !k.c.NodeDead(home) {
+		return home
+	}
+	var live []int
+	for _, s := range k.store.servers {
+		if !k.c.NodeDead(s) {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		return home
+	}
+	return live[int(h)%len(live)]
+}
+
+// metaRPC sends one metadata-path request through the bounded retry
+// layer, so a flapping link is retried and a dead server fails fast.
+func (k *Client) metaRPC(p *simtime.Proc, dst int, req []byte) ([]byte, error) {
+	return k.c.RPCRetry(p, dst, kvFn, req, 512)
+}
+
 // Put stores value under key via the metadata path.
 func (k *Client) Put(p *simtime.Proc, key string, value []byte) error {
 	req, _ := json.Marshal(request{Op: "put", Key: key, Value: value})
-	out, err := k.c.RPC(p, k.store.serverFor(key), kvFn, req, 512)
+	out, err := k.metaRPC(p, k.serverFor(key), req)
 	if err != nil {
 		return err
 	}
@@ -214,6 +270,10 @@ func (k *Client) Put(p *simtime.Proc, key string, value []byte) error {
 // LT_read against the cached handle; version mismatches and revoked
 // handles fall back to the metadata path.
 func (k *Client) Get(p *simtime.Proc, key string) ([]byte, error) {
+	if e := k.c.MembershipEpoch(); e != k.cacheEpoch {
+		k.cache = make(map[string]*cachedHandle)
+		k.cacheEpoch = e
+	}
 	for attempt := 0; attempt < 3; attempt++ {
 		ch, ok := k.cache[key]
 		if !ok {
@@ -245,7 +305,7 @@ func (k *Client) Get(p *simtime.Proc, key string) ([]byte, error) {
 func (k *Client) resolve(p *simtime.Proc, key string) (*cachedHandle, error) {
 	k.MetaLookups++
 	req, _ := json.Marshal(request{Op: "lookup", Key: key})
-	out, err := k.c.RPC(p, k.store.serverFor(key), kvFn, req, 512)
+	out, err := k.metaRPC(p, k.serverFor(key), req)
 	if err != nil {
 		return nil, err
 	}
@@ -265,7 +325,7 @@ func (k *Client) resolve(p *simtime.Proc, key string) (*cachedHandle, error) {
 // Delete removes a key.
 func (k *Client) Delete(p *simtime.Proc, key string) error {
 	req, _ := json.Marshal(request{Op: "delete", Key: key})
-	out, err := k.c.RPC(p, k.store.serverFor(key), kvFn, req, 512)
+	out, err := k.metaRPC(p, k.serverFor(key), req)
 	if err != nil {
 		return err
 	}

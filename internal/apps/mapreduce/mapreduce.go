@@ -31,6 +31,12 @@ type Config struct {
 	Reducers int
 	// ChunkSize is the map-task input split size.
 	ChunkSize int64
+	// TaskTimeout bounds each task dispatch on LITE-MR. Zero keeps the
+	// legacy behavior of waiting forever for a worker's reply; a
+	// positive value routes dispatches through the retry layer and lets
+	// the master declare a worker lost and re-execute the job on the
+	// survivors.
+	TaskTimeout simtime.Time
 
 	// Cost model (virtual time charged per unit of computation).
 

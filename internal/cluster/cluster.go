@@ -35,6 +35,14 @@ type Cluster struct {
 	Reg   *rnic.Registry
 	Net   *tcpip.Network
 	Nodes []*Node
+
+	// down marks crashed nodes (see CrashNode).
+	down map[int]bool
+	// onDown/onUp run, in registration order, inside CrashNode and
+	// RestartNode. Software layers (LITE, apps) register here to stop
+	// daemons, fail pending work, and rejoin on restart.
+	onDown []func(p *simtime.Proc, node int)
+	onUp   []func(p *simtime.Proc, node int)
 }
 
 // New builds a cluster of n nodes with memPerNode bytes of physical
@@ -46,11 +54,12 @@ func New(cfg *params.Config, n int, memPerNode int64) (*Cluster, error) {
 	env := simtime.NewEnv()
 	fab := fabric.New(cfg)
 	c := &Cluster{
-		Env: env,
-		Cfg: cfg,
-		Fab: fab,
-		Reg: rnic.NewRegistry(env, cfg, fab),
-		Net: tcpip.NewNetwork(env, cfg, fab),
+		Env:  env,
+		Cfg:  cfg,
+		Fab:  fab,
+		Reg:  rnic.NewRegistry(env, cfg, fab),
+		Net:  tcpip.NewNetwork(env, cfg, fab),
+		down: make(map[int]bool),
 	}
 	for i := 0; i < n; i++ {
 		mem := hostmem.New(memPerNode, cfg.PageSize)
@@ -101,6 +110,53 @@ func (c *Cluster) GoDaemonOn(node int, name string, fn func(*simtime.Proc)) *sim
 
 // Run executes the simulation to completion.
 func (c *Cluster) Run() error { return c.Env.Run() }
+
+// OnNodeDown registers a hook invoked by CrashNode after the node's
+// fabric port is cut. Hooks run in registration order in the crashing
+// caller's process context.
+func (c *Cluster) OnNodeDown(fn func(p *simtime.Proc, node int)) {
+	c.onDown = append(c.onDown, fn)
+}
+
+// OnNodeUp registers a hook invoked by RestartNode after the node's
+// fabric port is restored.
+func (c *Cluster) OnNodeUp(fn func(p *simtime.Proc, node int)) {
+	c.onUp = append(c.onUp, fn)
+}
+
+// NodeDown reports whether the node is currently crashed.
+func (c *Cluster) NodeDown(node int) bool { return c.down[node] }
+
+// CrashNode fails a machine: its fabric port goes dark (in-flight and
+// future messages to or from it are lost, so remote QPs targeting it
+// complete with StatusTimeout), then the registered down-hooks run so
+// software layers stop the node's daemons and fail its pending work.
+// Crashing an already-down node is a no-op.
+func (c *Cluster) CrashNode(p *simtime.Proc, node int) {
+	if c.down[node] {
+		return
+	}
+	c.down[node] = true
+	c.Fab.SetNodeDown(node)
+	for _, fn := range c.onDown {
+		fn(p, node)
+	}
+}
+
+// RestartNode brings a crashed machine back: the fabric port is
+// restored and the registered up-hooks run so software layers can
+// re-initialize state and rejoin the cluster. Restarting a live node
+// is a no-op.
+func (c *Cluster) RestartNode(p *simtime.Proc, node int) {
+	if !c.down[node] {
+		return
+	}
+	delete(c.down, node)
+	c.Fab.SetNodeUp(node)
+	for _, fn := range c.onUp {
+		fn(p, node)
+	}
+}
 
 // TotalCPU returns the summed busy CPU time across all nodes.
 func (c *Cluster) TotalCPU() simtime.Time {

@@ -24,6 +24,18 @@ type Fabric struct {
 	ports map[int]*port
 	// down records unreachable directed pairs for failure injection.
 	down map[[2]int]bool
+	// nodeDown records whole nodes cut from the fabric (both
+	// directions of every pair), as when a machine loses power.
+	nodeDown map[int]bool
+	// nodeDelay is extra one-way latency added to any message that
+	// touches the node, modeling a degraded ("slow") machine.
+	nodeDelay map[int]simtime.Time
+	// dropHook, when set, is consulted for every otherwise-reachable
+	// message; returning true silently drops it. Used for
+	// probabilistic loss injection.
+	dropHook func(at simtime.Time, src, dst int, size int64) bool
+	// dropped counts messages lost to the drop hook.
+	dropped int64
 }
 
 type port struct {
@@ -34,9 +46,11 @@ type port struct {
 // New returns a fabric using the given cost model.
 func New(cfg *params.Config) *Fabric {
 	return &Fabric{
-		cfg:   cfg,
-		ports: make(map[int]*port),
-		down:  make(map[[2]int]bool),
+		cfg:       cfg,
+		ports:     make(map[int]*port),
+		down:      make(map[[2]int]bool),
+		nodeDown:  make(map[int]bool),
+		nodeDelay: make(map[int]simtime.Time),
 	}
 }
 
@@ -56,12 +70,71 @@ func (f *Fabric) SetLinkDown(src, dst int) { f.down[[2]int{src, dst}] = true }
 // SetLinkUp restores delivery from src to dst.
 func (f *Fabric) SetLinkUp(src, dst int) { delete(f.down, [2]int{src, dst}) }
 
+// SetNodeDown cuts a node from the fabric entirely: no message to or
+// from it is deliverable until SetNodeUp. This models a machine crash
+// (or its top-of-rack port being disabled) without having to
+// enumerate directed pairs.
+func (f *Fabric) SetNodeDown(node int) { f.nodeDown[node] = true }
+
+// SetNodeUp restores a node cut by SetNodeDown. Directed link cuts
+// installed with SetLinkDown are unaffected.
+func (f *Fabric) SetNodeUp(node int) { delete(f.nodeDown, node) }
+
+// NodeDown reports whether node is currently cut from the fabric.
+func (f *Fabric) NodeDown(node int) bool { return f.nodeDown[node] }
+
+// Partition symmetrically severs every pair crossing the (a, b) cut:
+// for each x in a and y in b, both x→y and y→x become undeliverable.
+// Nodes appearing in neither group keep full connectivity.
+func (f *Fabric) Partition(a, b []int) {
+	for _, x := range a {
+		for _, y := range b {
+			f.SetLinkDown(x, y)
+			f.SetLinkDown(y, x)
+		}
+	}
+}
+
+// HealPartition undoes Partition for the same two groups.
+func (f *Fabric) HealPartition(a, b []int) {
+	for _, x := range a {
+		for _, y := range b {
+			f.SetLinkUp(x, y)
+			f.SetLinkUp(y, x)
+		}
+	}
+}
+
+// SetNodeDelay injects extra one-way latency on every message sent to
+// or from node (a "slow node"). A zero duration removes the injection.
+func (f *Fabric) SetNodeDelay(node int, d simtime.Time) {
+	if d <= 0 {
+		delete(f.nodeDelay, node)
+		return
+	}
+	f.nodeDelay[node] = d
+}
+
+// SetDropHook installs a predicate consulted for every reachable
+// message; returning true drops the message as if the path were down.
+// Pass nil to remove. Fault injectors use it for seeded probabilistic
+// loss.
+func (f *Fabric) SetDropHook(h func(at simtime.Time, src, dst int, size int64) bool) {
+	f.dropHook = h
+}
+
+// Dropped returns the number of messages lost to the drop hook.
+func (f *Fabric) Dropped() int64 { return f.dropped }
+
 // Reachable reports whether src can currently reach dst.
 func (f *Fabric) Reachable(src, dst int) bool {
 	if _, ok := f.ports[src]; !ok {
 		return false
 	}
 	if _, ok := f.ports[dst]; !ok {
+		return false
+	}
+	if f.nodeDown[src] || f.nodeDown[dst] {
 		return false
 	}
 	return !f.down[[2]int{src, dst}]
@@ -79,7 +152,13 @@ func (f *Fabric) ReservePath(at simtime.Time, src, dst int, size int64) (simtime
 		return 0, false
 	}
 	if src == dst {
+		// Loopback never touches the wire, so probabilistic loss does
+		// not apply to it.
 		return at, true
+	}
+	if f.dropHook != nil && f.dropHook(at, src, dst, size) {
+		f.dropped++
+		return 0, false
 	}
 	sp := f.ports[src]
 	dp := f.ports[dst]
@@ -89,6 +168,7 @@ func (f *Fabric) ReservePath(at simtime.Time, src, dst int, size int64) (simtime
 	// propagation+switch after it starts leaving the source; the
 	// ingress link is then occupied for one serialization time.
 	headArrive := egressDone - ser + f.cfg.PropagationDelay + f.cfg.SwitchDelay
+	headArrive += f.nodeDelay[src] + f.nodeDelay[dst]
 	return dp.ingress.Reserve(headArrive, ser), true
 }
 

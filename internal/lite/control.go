@@ -20,6 +20,9 @@ const (
 	copInvalidate
 	copMemset
 	copMemcpy
+	copPing       // keepalive probe; reply carries the node's epoch
+	copMembership // manager -> node membership (epoch, dead set) push
+	copJoin       // restarted node -> manager rejoin announcement
 )
 
 // Control-plane status codes.
@@ -206,6 +209,12 @@ func (i *Instance) handleControl(p *simtime.Proc, c *Call) {
 			}
 			ring = &srvRing{client: c.Src, fn: fn, pa: pa, size: i.opts.RingBytes}
 			i.srvRings[key] = ring
+		} else {
+			// Re-bind after a failure: the client restarts its tail at
+			// zero, so reset the consume pointer to match. Frames the
+			// old incarnation left unconsumed are dropped (their
+			// callers have already timed out or failed over).
+			ring.headLocal = 0
 		}
 		out := make([]byte, 16)
 		binary.LittleEndian.PutUint64(out[0:], uint64(ring.pa))
@@ -325,6 +334,37 @@ func (i *Instance) handleControl(p *simtime.Proc, c *Call) {
 			err = i.rawWrite(p, dstNode, dstPA, buf, PriHigh)
 		}
 		reply(errToCst(err), nil)
+
+	case copPing:
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, i.epoch)
+		reply(cstOK, out)
+
+	case copMembership:
+		if len(in) < 11 {
+			reply(cstBadArg, nil)
+			return
+		}
+		epoch := binary.LittleEndian.Uint64(in[1:])
+		n := int(binary.LittleEndian.Uint16(in[9:]))
+		if len(in) < 11+4*n {
+			reply(cstBadArg, nil)
+			return
+		}
+		dead := make([]int, n)
+		for k := 0; k < n; k++ {
+			dead[k] = int(binary.LittleEndian.Uint32(in[11+4*k:]))
+		}
+		i.applyMembership(epoch, dead)
+		reply(cstOK, nil)
+
+	case copJoin:
+		if i.node.ID != i.opts.ManagerNode {
+			reply(cstBadArg, nil)
+			return
+		}
+		i.handleJoin(p, c.Src)
+		reply(cstOK, nil)
 
 	default:
 		reply(cstBadArg, nil)

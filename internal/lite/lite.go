@@ -43,6 +43,7 @@ var (
 	ErrNotMaster    = errors.New("lite: operation requires the master role")
 	ErrFreed        = errors.New("lite: LMR has been freed")
 	ErrTimeout      = errors.New("lite: operation timed out")
+	ErrNodeDead     = errors.New("lite: node declared dead")
 	ErrNoSuchRPC    = errors.New("lite: no RPC function with that ID")
 	ErrRemoteFailed = errors.New("lite: remote operation failed")
 )
@@ -69,18 +70,41 @@ type Options struct {
 	// chunks to avoid external fragmentation (§4.1). The paper found
 	// the chunked layout costs under 2% versus one huge region.
 	MaxChunkBytes int64
+
+	// HeartbeatInterval enables failure detection when nonzero: the
+	// cluster manager probes every node with a keepalive RPC at this
+	// period. Zero (the default) disables the detector entirely so
+	// latency-sensitive deployments pay nothing for it.
+	HeartbeatInterval simtime.Time
+	// HeartbeatTimeout bounds each keepalive round trip.
+	HeartbeatTimeout simtime.Time
+	// HeartbeatMiss is K, the consecutive missed beats after which the
+	// manager declares a node dead and broadcasts a new membership
+	// epoch.
+	HeartbeatMiss int
+	// RetryAttempts bounds the RPC retry wrapper (RPCRetry); each
+	// attempt pays its own timeout.
+	RetryAttempts int
+	// RetryBackoff is the base of the exponential backoff between
+	// retry attempts (doubled per attempt, plus deterministic jitter
+	// derived from the simulation clock, never wall-clock).
+	RetryBackoff simtime.Time
 }
 
 // DefaultOptions returns the standard deployment configuration.
 func DefaultOptions() Options {
 	return Options{
-		QPsPerPair:    2,
-		RingBytes:     1 << 20,
-		ScratchBytes:  64 << 20,
-		RPCTimeout:    10 * 1000 * 1000, // 10ms
-		ManagerNode:   0,
-		RecvBatch:     512,
-		MaxChunkBytes: 4 << 20,
+		QPsPerPair:       2,
+		RingBytes:        1 << 20,
+		ScratchBytes:     64 << 20,
+		RPCTimeout:       10 * 1000 * 1000, // 10ms
+		ManagerNode:      0,
+		RecvBatch:        512,
+		MaxChunkBytes:    4 << 20,
+		HeartbeatTimeout: 500 * 1000, // 500us per keepalive round trip
+		HeartbeatMiss:    3,
+		RetryAttempts:    4,
+		RetryBackoff:     100 * 1000, // 100us base, doubled per attempt
 	}
 }
 
@@ -130,6 +154,13 @@ type Instance struct {
 	// QoS state (qos.go).
 	qos qosState
 
+	// Failure state (membership.go, failover.go). stopped is set while
+	// the node is crashed; epoch/deadView are this instance's view of
+	// the manager's membership broadcasts.
+	stopped  bool
+	epoch    uint64
+	deadView map[int]bool
+
 	// Diagnostics.
 	PollerCPU simtime.Time
 }
@@ -147,6 +178,10 @@ type Deployment struct {
 	nextLMRID uint64
 	barriers  map[uint64]*barrierState
 	qsig      qosSignals
+
+	// memb is the manager's authoritative membership view (modeled as
+	// surviving manager restarts, as on the paper's HA node pair).
+	memb membState
 }
 
 // Start boots LITE on every node of the cluster: it registers the
@@ -184,6 +219,7 @@ func Start(cls *cluster.Cluster, opts Options) (*Deployment, error) {
 			pending:  make(map[uint32]*pendingCall),
 			headUpd:  simtime.NewChan[headUpdate](4096),
 			locks:    make(map[uint64]*lockState),
+			deadView: make(map[int]bool),
 		}
 		inst.qos.init(opts.QPsPerPair, &dep.qsig)
 		// One global MR per node covering all of physical memory,
@@ -237,14 +273,35 @@ func Start(cls *cluster.Cluster, opts Options) (*Deployment, error) {
 	// the poller), header-update sender, and system RPC workers.
 	for _, inst := range dep.Instances {
 		inst.topUpRecvs()
-		i := inst
-		cls.GoDaemonOn(i.node.ID, "lite-poller", i.pollerLoop)
-		cls.GoDaemonOn(i.node.ID, "lite-headupd", i.headUpdateLoop)
-		for w := 0; w < systemWorkers; w++ {
-			cls.GoDaemonOn(i.node.ID, "lite-sys", i.systemWorkerLoop)
+		inst.spawnDaemons()
+	}
+	// Node-failure plumbing: crash/restart hooks on the cluster, and
+	// the manager's heartbeat probers when failure detection is on.
+	dep.memb.init()
+	dep.attachFailover()
+	if opts.HeartbeatInterval > 0 {
+		mgr := dep.Instances[opts.ManagerNode]
+		for _, inst := range dep.Instances {
+			if inst == mgr {
+				continue
+			}
+			target := inst.node.ID
+			cls.GoDaemonOn(mgr.node.ID, "lite-prober", func(p *simtime.Proc) {
+				mgr.proberLoop(p, target)
+			})
 		}
 	}
 	return dep, nil
+}
+
+// spawnDaemons starts (or, after a restart, restarts) the per-node
+// background threads.
+func (i *Instance) spawnDaemons() {
+	i.cls.GoDaemonOn(i.node.ID, "lite-poller", i.pollerLoop)
+	i.cls.GoDaemonOn(i.node.ID, "lite-headupd", i.headUpdateLoop)
+	for w := 0; w < systemWorkers; w++ {
+		i.cls.GoDaemonOn(i.node.ID, "lite-sys", i.systemWorkerLoop)
+	}
 }
 
 // qpDepth bounds outstanding operations per shared QP; it is what
@@ -300,12 +357,33 @@ func (i *Instance) pickQP(p *simtime.Proc, dst int, pri Priority) (*rnic.QP, fun
 
 // scratchRing is a bump allocator over a contiguous kernel arena used
 // for response buffers and internal staging. Allocations are 64-byte
-// aligned and the ring is large enough that in-flight operations never
-// collide with the wrap.
+// aligned and the ring wraps; reply buffers of timed-out RPCs are
+// quarantined (the server's late reply write-imm may still be in
+// flight) and the allocator steps around them until the reply lands or
+// the membership epoch advances past the call.
 type scratchRing struct {
 	base hostmem.PAddr
 	size int64
 	next int64
+
+	quar      []quarRange
+	quarBytes int64
+	// evicted collects tokens whose quarantine the safety valve
+	// force-released; the owner drops their pending entries.
+	evicted []uint32
+	// Evictions counts safety-valve releases, for diagnostics: nonzero
+	// means a reply buffer was reused while a late reply could still
+	// have been in flight.
+	Evictions int64
+}
+
+// quarRange is one quarantined reply buffer: [start, end) offsets into
+// the arena, the pending token that owns it, and the membership epoch
+// at which the owning call timed out.
+type quarRange struct {
+	start, end int64
+	token      uint32
+	epoch      uint64
 }
 
 func (i *Instance) initScratch() error {
@@ -319,11 +397,110 @@ func (i *Instance) initScratch() error {
 
 func (s *scratchRing) alloc(n int64) hostmem.PAddr {
 	n = (n + 63) &^ 63
-	if s.next+n > s.size {
-		s.next = 0
+	wraps := 0
+	for {
+		if s.next+n > s.size {
+			s.next = 0
+			wraps++
+			// Two full wraps without finding a gap means quarantined
+			// buffers are starving the arena; reclaim the oldest.
+			if wraps >= 2 {
+				s.evictOldest()
+				wraps = 0
+			}
+		}
+		if q, hit := s.overlap(s.next, s.next+n); hit {
+			s.next = (q.end + 63) &^ 63
+			if s.quarBytes > s.size/2 {
+				s.evictOldest()
+			}
+			continue
+		}
+		pa := s.base + hostmem.PAddr(s.next)
+		s.next += n
+		return pa
 	}
-	pa := s.base + hostmem.PAddr(s.next)
-	s.next += n
+}
+
+// overlap returns the quarantined range intersecting [start, end), if
+// any.
+func (s *scratchRing) overlap(start, end int64) (quarRange, bool) {
+	for _, q := range s.quar {
+		if start < q.end && q.start < end {
+			return q, true
+		}
+	}
+	return quarRange{}, false
+}
+
+// quarantine marks a reply buffer unusable until release. n may be
+// zero (calls with no reply payload), which quarantines nothing.
+func (s *scratchRing) quarantine(pa hostmem.PAddr, n int64, token uint32, epoch uint64) {
+	n = (n + 63) &^ 63
+	if n == 0 {
+		return
+	}
+	start := int64(pa - s.base)
+	s.quar = append(s.quar, quarRange{start: start, end: start + n, token: token, epoch: epoch})
+	s.quarBytes += n
+}
+
+// release frees the quarantined buffer owned by token, if present.
+func (s *scratchRing) release(token uint32) {
+	for k, q := range s.quar {
+		if q.token == token {
+			s.quarBytes -= q.end - q.start
+			s.quar = append(s.quar[:k], s.quar[k+1:]...)
+			return
+		}
+	}
+}
+
+// releaseBefore frees every quarantine installed before the given
+// membership epoch (any in-flight reply from those calls was sent by a
+// since-declared-dead or since-restarted peer) and returns their
+// tokens.
+func (s *scratchRing) releaseBefore(epoch uint64) []uint32 {
+	var toks []uint32
+	kept := s.quar[:0]
+	for _, q := range s.quar {
+		if q.epoch < epoch {
+			s.quarBytes -= q.end - q.start
+			toks = append(toks, q.token)
+			continue
+		}
+		kept = append(kept, q)
+	}
+	s.quar = kept
+	return toks
+}
+
+// evictOldest is the safety valve: if quarantines accumulate without
+// any reply or epoch advance ever releasing them, drop the oldest so
+// the arena cannot be starved. The hazard window this reopens is
+// counted in Evictions.
+func (s *scratchRing) evictOldest() {
+	if len(s.quar) == 0 {
+		return
+	}
+	q := s.quar[0]
+	s.quar = s.quar[1:]
+	s.quarBytes -= q.end - q.start
+	s.evicted = append(s.evicted, q.token)
+	s.Evictions++
+}
+
+// scratchAlloc is the instance-level allocator entry point: it
+// allocates from the ring and drops the pending entries of any
+// quarantines the safety valve evicted.
+func (i *Instance) scratchAlloc(n int64) hostmem.PAddr {
+	pa := i.scratch.alloc(n)
+	if len(i.scratch.evicted) > 0 {
+		for _, tok := range i.scratch.evicted {
+			delete(i.pending, tok)
+		}
+		i.scratch.evicted = i.scratch.evicted[:0]
+	}
 	return pa
 }
 

@@ -1,0 +1,235 @@
+package lite
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"lite/internal/simtime"
+)
+
+// Failure detection (§3.3 extended): the cluster manager probes every
+// node with periodic keepalive RPCs. After HeartbeatMiss consecutive
+// missed beats it declares the node dead, bumps a monotonically
+// increasing membership epoch, and broadcasts the new view to every
+// live instance. Instances use the view to fail outstanding RPCs to
+// dead nodes immediately (instead of waiting out the transport
+// timeout), to refuse new sends toward them, and to release
+// quarantined reply buffers from before the epoch advance.
+//
+// The detector is conservative in both directions: a node that answers
+// a later probe (a false suspicion during a link flap, or a silent
+// restart) is revived with another epoch bump, and a probe reply
+// carrying a stale epoch triggers an anti-entropy re-broadcast so a
+// node that missed a membership message converges on the next beat.
+
+// membState is the manager's authoritative membership bookkeeping.
+type membState struct {
+	epoch uint64
+	dead  map[int]bool
+	miss  map[int]int
+}
+
+func (m *membState) init() {
+	m.dead = make(map[int]bool)
+	m.miss = make(map[int]int)
+}
+
+// deadList returns the dead set as a sorted slice (broadcast payloads
+// and map iterations must be deterministic).
+func (m *membState) deadList() []int {
+	var out []int
+	for n := range m.dead {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NodeDead reports whether this instance's membership view has
+// declared the node dead.
+func (i *Instance) NodeDead(node int) bool { return i.deadView[node] }
+
+// MembershipEpoch returns the membership epoch this instance has seen.
+func (i *Instance) MembershipEpoch() uint64 { return i.epoch }
+
+// ManagerEpoch returns the manager's authoritative epoch.
+func (d *Deployment) ManagerEpoch() uint64 { return d.memb.epoch }
+
+// proberLoop runs on the manager node, one daemon per probed peer.
+func (i *Instance) proberLoop(p *simtime.Proc, target int) {
+	for {
+		p.Sleep(i.opts.HeartbeatInterval)
+		if i.stopped {
+			continue // manager down: detector paused until restart
+		}
+		m := &i.dep.memb
+		peerEpoch, err := i.ctlPing(p, target)
+		if err != nil {
+			if m.dead[target] {
+				continue
+			}
+			m.miss[target]++
+			if m.miss[target] >= i.opts.HeartbeatMiss {
+				i.declareDead(p, target)
+			}
+			continue
+		}
+		m.miss[target] = 0
+		if m.dead[target] {
+			// False suspicion (or a restart whose join we missed):
+			// bring the node back with a fresh epoch.
+			i.reviveNode(p, target)
+			continue
+		}
+		if peerEpoch < m.epoch {
+			// Anti-entropy: the peer missed a membership broadcast.
+			i.sendMembership(p, target)
+		}
+	}
+}
+
+// declareDead marks the target dead, bumps the epoch, and broadcasts.
+func (i *Instance) declareDead(p *simtime.Proc, target int) {
+	m := &i.dep.memb
+	m.dead[target] = true
+	m.epoch++
+	i.broadcastMembership(p)
+}
+
+// reviveNode clears the target's dead mark with a new epoch.
+func (i *Instance) reviveNode(p *simtime.Proc, target int) {
+	m := &i.dep.memb
+	delete(m.dead, target)
+	m.miss[target] = 0
+	m.epoch++
+	i.broadcastMembership(p)
+}
+
+// broadcastMembership ships the manager's current view to every live
+// instance (applied locally for the manager itself). Sends are bounded
+// by the heartbeat timeout; a node that misses the message converges
+// through anti-entropy on the next probe.
+func (i *Instance) broadcastMembership(p *simtime.Proc) {
+	m := &i.dep.memb
+	dead := m.deadList()
+	i.applyMembership(m.epoch, dead)
+	for _, peer := range i.dep.Instances {
+		pid := peer.node.ID
+		if pid == i.node.ID || m.dead[pid] {
+			continue
+		}
+		_ = i.ctlMembership(p, pid, m.epoch, dead)
+	}
+}
+
+// sendMembership ships the current view to one node.
+func (i *Instance) sendMembership(p *simtime.Proc, target int) {
+	m := &i.dep.memb
+	_ = i.ctlMembership(p, target, m.epoch, m.deadList())
+}
+
+// applyMembership installs a membership view on this instance. Stale
+// epochs are ignored. Outstanding RPCs to now-dead nodes fail with
+// ErrNodeDead, ring-space waiters toward them are woken so they can
+// abort, and quarantined reply buffers from before the new epoch are
+// released (any straggler reply from that era was sent by a peer now
+// declared dead or restarted, so it can no longer arrive).
+func (i *Instance) applyMembership(epoch uint64, dead []int) {
+	if epoch <= i.epoch || i.stopped {
+		return
+	}
+	i.epoch = epoch
+	i.deadView = make(map[int]bool, len(dead))
+	for _, n := range dead {
+		i.deadView[n] = true
+	}
+	env := i.cls.Env
+	for _, token := range i.sortedPendingTokens() {
+		pc := i.pending[token]
+		if pc.done || pc.abandoned || pc.probe || !i.deadView[pc.dst] {
+			continue
+		}
+		pc.err = ErrNodeDead
+		pc.done = true
+		pc.cond.Broadcast(env)
+	}
+	for _, token := range i.scratch.releaseBefore(epoch) {
+		delete(i.pending, token)
+	}
+	for _, key := range i.sortedBindKeys() {
+		if i.deadView[key.node] {
+			i.bindings[key].space.Broadcast(env)
+		}
+	}
+}
+
+// sortedPendingTokens returns the pending-call tokens in a stable
+// order; broadcasting wakeups in map-iteration order would make the
+// simulation timeline depend on Go's map randomization.
+func (i *Instance) sortedPendingTokens() []uint32 {
+	toks := make([]uint32, 0, len(i.pending))
+	for t := range i.pending {
+		toks = append(toks, t)
+	}
+	sort.Slice(toks, func(a, b int) bool { return toks[a] < toks[b] })
+	return toks
+}
+
+// sortedBindKeys returns the binding keys in a stable order.
+func (i *Instance) sortedBindKeys() []bindKey {
+	keys := make([]bindKey, 0, len(i.bindings))
+	for k := range i.bindings {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].node != keys[b].node {
+			return keys[a].node < keys[b].node
+		}
+		return keys[a].fn < keys[b].fn
+	})
+	return keys
+}
+
+// ---- control-plane wire helpers ----
+
+// ctlPing sends one keepalive and returns the peer's membership epoch.
+func (i *Instance) ctlPing(p *simtime.Proc, dst int) (uint64, error) {
+	out, err := i.rpcInternalProbe(p, dst, funcControl, []byte{copPing}, 9, PriHigh, i.opts.HeartbeatTimeout, true)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) < 9 || out[0] != cstOK {
+		return 0, ErrRemoteFailed
+	}
+	return binary.LittleEndian.Uint64(out[1:]), nil
+}
+
+// ctlMembership pushes an (epoch, dead set) view to dst.
+func (i *Instance) ctlMembership(p *simtime.Proc, dst int, epoch uint64, dead []int) error {
+	req := make([]byte, 11+4*len(dead))
+	req[0] = copMembership
+	binary.LittleEndian.PutUint64(req[1:], epoch)
+	binary.LittleEndian.PutUint16(req[9:], uint16(len(dead)))
+	for k, n := range dead {
+		binary.LittleEndian.PutUint32(req[11+4*k:], uint32(n))
+	}
+	_, err := i.rpcInternalT(p, dst, funcControl, req, 1, PriHigh, i.opts.HeartbeatTimeout)
+	return err
+}
+
+// ctlJoin announces this node to the manager after a restart.
+func (i *Instance) ctlJoin(p *simtime.Proc) error {
+	_, err := i.rpcInternalT(p, i.opts.ManagerNode, funcControl, []byte{copJoin}, 1, PriHigh, i.opts.RPCTimeout)
+	return err
+}
+
+// handleJoin runs on the manager when a restarted node announces
+// itself: revive it under a fresh epoch so every instance drops its
+// dead mark and releases pre-restart quarantines.
+func (i *Instance) handleJoin(p *simtime.Proc, src int) {
+	m := &i.dep.memb
+	m.miss[src] = 0
+	delete(m.dead, src)
+	m.epoch++
+	i.broadcastMembership(p)
+}

@@ -34,14 +34,25 @@ func (i *Instance) ReRegisterNames(p *simtime.Proc) error {
 	return nil
 }
 
-// RecoverManagerDirectory drives the full recovery: every node
-// republishes its names. Call it from one process per node is the
-// faithful protocol; this helper spawns those processes and waits.
+// RecoverManagerDirectory drives the full recovery: every live node
+// republishes its names (crashed nodes are skipped — their LMRs died
+// with them and a recovery process cannot run there). Call it from one
+// process per node is the faithful protocol; this helper spawns those
+// processes and waits.
 func (d *Deployment) RecoverManagerDirectory(p *simtime.Proc) error {
 	errs := make([]error, len(d.Instances))
 	var wg simtime.WaitGroup
-	wg.Add(len(d.Instances))
+	live := 0
+	for _, inst := range d.Instances {
+		if !inst.stopped {
+			live++
+		}
+	}
+	wg.Add(live)
 	for k, inst := range d.Instances {
+		if inst.stopped {
+			continue
+		}
 		k, inst := k, inst
 		d.Cluster.GoOn(inst.node.ID, "lite-recover", func(q *simtime.Proc) {
 			defer wg.Done(q.Env())

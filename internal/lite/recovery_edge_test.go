@@ -1,0 +1,164 @@
+package lite
+
+import (
+	"testing"
+	"time"
+
+	"lite/internal/simtime"
+)
+
+// ReRegisterNames must republish exactly the named, live, self-mastered
+// LMRs: freed LMRs, anonymous LMRs, and LMRs whose master role was
+// revoked stay out of the rebuilt directory.
+func TestReRegisterNamesSkipsFreedUnnamedNonMastered(t *testing.T) {
+	cls, dep := testDep(t, 2)
+	phase := 0
+	var cond simtime.Cond
+	bump := func(p *simtime.Proc) { phase++; cond.Broadcast(p.Env()) }
+	wait := func(p *simtime.Proc, n int) {
+		for phase < n {
+			cond.Wait(p)
+		}
+	}
+	cls.GoOn(1, "owner", func(p *simtime.Proc) {
+		c := dep.Instance(1).KernelClient()
+		if _, err := c.Malloc(p, 4096, "keep", PermRead); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Malloc(p, 4096, "", PermRead); err != nil {
+			t.Fatal(err)
+		}
+		hGone, err := c.Malloc(p, 4096, "gone", PermRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Free(p, hGone); err != nil {
+			t.Fatal(err)
+		}
+		hForeign, err := c.Malloc(p, 4096, "foreign", PermRead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Hand the master role to node 0 and have our own revoked.
+		if err := c.Grant(p, hForeign, 0, PermRead|PermWrite|PermMaster); err != nil {
+			t.Fatal(err)
+		}
+		bump(p)
+		wait(p, 2)
+		dep.CrashManagerDirectory()
+		// Only this node recovers: the directory afterwards holds
+		// exactly what this node still masters.
+		if err := dep.Instance(1).ReRegisterNames(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Map(p, "keep"); err != nil {
+			t.Fatalf("named live LMR not republished: %v", err)
+		}
+		if _, err := c.Map(p, "gone"); err != ErrNoSuchName {
+			t.Fatalf("freed LMR republished: err = %v", err)
+		}
+		if _, err := c.Map(p, "foreign"); err != ErrNoSuchName {
+			t.Fatalf("non-mastered LMR republished: err = %v", err)
+		}
+	})
+	cls.GoOn(0, "revoker", func(p *simtime.Proc) {
+		wait(p, 1)
+		c := dep.Instance(0).KernelClient()
+		h, err := c.Map(p, "foreign")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Node 0 is a master now; strip node 1 of the role.
+		if err := c.Grant(p, h, 1, PermRead); err != nil {
+			t.Fatal(err)
+		}
+		bump(p)
+	})
+	run(t, cls)
+}
+
+// Running the recovery protocol twice in a row must be harmless: the
+// second pass finds every name already present and republishes nothing.
+func TestDoubleRecoveryIdempotent(t *testing.T) {
+	cls, dep := testDep(t, 3)
+	cls.GoOn(1, "driver", func(p *simtime.Proc) {
+		c := dep.Instance(1).KernelClient()
+		h, err := c.Malloc(p, 4096, "twice", PermRead|PermWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Write(p, h, 0, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		dep.CrashManagerDirectory()
+		if err := dep.RecoverManagerDirectory(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := dep.RecoverManagerDirectory(p); err != nil {
+			t.Fatalf("second recovery errored: %v", err)
+		}
+		c2 := dep.Instance(2).KernelClient()
+		h2, err := c2.Map(p, "twice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 7)
+		if err := c2.Read(p, h2, 0, got); err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "payload" {
+			t.Fatalf("data after double recovery = %q", got)
+		}
+	})
+	run(t, cls)
+}
+
+// Recovery must tolerate fresh registrations racing with it: names
+// created while the directory is being rebuilt survive alongside the
+// republished ones.
+func TestRecoveryRacesConcurrentRegistration(t *testing.T) {
+	cls, dep := testDep(t, 3)
+	phase := 0
+	var cond simtime.Cond
+	bump := func(p *simtime.Proc) { phase++; cond.Broadcast(p.Env()) }
+	wait := func(p *simtime.Proc, n int) {
+		for phase < n {
+			cond.Wait(p)
+		}
+	}
+	cls.GoOn(1, "recoverer", func(p *simtime.Proc) {
+		c := dep.Instance(1).KernelClient()
+		if _, err := c.Malloc(p, 4096, "old", PermRead); err != nil {
+			t.Fatal(err)
+		}
+		dep.CrashManagerDirectory()
+		bump(p)
+		if err := dep.RecoverManagerDirectory(p); err != nil {
+			t.Fatal(err)
+		}
+		bump(p)
+	})
+	cls.GoOn(2, "registrar", func(p *simtime.Proc) {
+		wait(p, 1)
+		// Interleave with the recovery sweep: these registrations hit
+		// the manager while nodes are republishing.
+		c := dep.Instance(2).KernelClient()
+		for k := 0; k < 4; k++ {
+			name := string(rune('a' + k))
+			if _, err := c.Malloc(p, 4096, "fresh-"+name, PermRead); err != nil {
+				t.Fatalf("concurrent registration %q: %v", name, err)
+			}
+			p.Sleep(time.Microsecond)
+		}
+		wait(p, 2)
+		if _, err := c.Map(p, "old"); err != nil {
+			t.Fatalf("republished name lost: %v", err)
+		}
+		for k := 0; k < 4; k++ {
+			if _, err := c.Map(p, "fresh-"+string(rune('a'+k))); err != nil {
+				t.Fatalf("concurrent registration lost: %v", err)
+			}
+		}
+	})
+	run(t, cls)
+}

@@ -1,0 +1,89 @@
+package lite
+
+import (
+	"errors"
+
+	"lite/internal/simtime"
+)
+
+// RPC retry layer: a bounded-attempt exponential-backoff-with-jitter
+// wrapper over rpcInternalT. The jitter is derived deterministically
+// from the simulation clock and the call's coordinates — never from
+// wall-clock or a global RNG — so a run with a given fault plan
+// replays bit for bit.
+
+// maxRetryBackoff caps a single backoff sleep.
+const maxRetryBackoff = 20 * 1000 * 1000 // 20ms
+
+// rpcRetryT issues the RPC with up to opts.RetryAttempts attempts.
+// Between attempts it sleeps base<<attempt plus jitter. Once the
+// membership view declares the target dead the call fails fast with
+// ErrNodeDead; if the membership epoch advanced across a failed
+// attempt, the binding is dropped so the next attempt renegotiates
+// against the (possibly restarted) server. A second consecutive
+// timeout also forces a rebind, which heals a ring whose head-update
+// credits were lost to message drops.
+func (i *Instance) rpcRetryT(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time) ([]byte, error) {
+	attempts := i.opts.RetryAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if i.stopped {
+			return nil, ErrNodeDead
+		}
+		if dst != i.node.ID && i.deadView[dst] {
+			return nil, ErrNodeDead
+		}
+		epochBefore := i.epoch
+		out, err := i.rpcInternalT(p, dst, fn, input, maxReply, pri, timeout)
+		if err == nil {
+			return out, nil
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+		lastErr = err
+		if a == attempts-1 {
+			break
+		}
+		if i.epoch != epochBefore || a >= 1 {
+			i.resetBinding(dst, fn)
+		}
+		p.Sleep(i.retryDelay(p, a))
+	}
+	return nil, lastErr
+}
+
+// retryable reports whether an error is worth another attempt.
+// ErrNodeDead is terminal; name-service and permission errors are
+// definitive answers, not transport failures.
+func retryable(err error) bool {
+	return errors.Is(err, ErrTimeout)
+}
+
+// retryDelay returns the backoff before attempt a+1: base<<a, capped,
+// with deterministic jitter in [0, d/2) mixed from the current virtual
+// time, the node id, and the attempt number.
+func (i *Instance) retryDelay(p *simtime.Proc, a int) simtime.Time {
+	d := i.opts.RetryBackoff
+	if d <= 0 {
+		d = 100 * 1000 // 100us
+	}
+	d <<= uint(a)
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	j := splitmix64(uint64(p.Now()) ^ uint64(i.node.ID)<<40 ^ uint64(a)<<56)
+	return d + simtime.Time(j%uint64(d/2+1))
+}
+
+// splitmix64 is the standard 64-bit finalizer; deterministic and
+// stateless, which is all the jitter needs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -75,6 +75,8 @@ type binding struct {
 	tail     int64 // monotonic bytes written (incl. wrap padding)
 	head     int64 // monotonic bytes the server reported consumed
 	space    simtime.Cond
+	// dead marks a binding severed by a node crash; waiters abort.
+	dead bool
 }
 
 // srvRing is the server-side state of a binding.
@@ -121,6 +123,18 @@ type pendingCall struct {
 	done    bool
 	respPA  hostmem.PAddr
 	respLen int64
+	dst     int
+	// err, when set by a membership change or local crash, is returned
+	// to the waiter instead of a reply.
+	err error
+	// abandoned marks a call whose waiter timed out; the entry stays
+	// pending (and its reply buffer quarantined) until the late reply
+	// lands or the membership epoch advances.
+	abandoned bool
+	// probe marks a keepalive: it may target a declared-dead node (that
+	// is the point — a successful probe revives it), so membership
+	// changes must not fail it preemptively.
+	probe bool
 }
 
 // headUpdate is queued to the background header-update thread.
@@ -232,9 +246,20 @@ func (i *Instance) token() uint32 {
 
 // reserveRing claims space for a message of the given aligned size in
 // the ring, waiting for head updates if the ring is full, and returns
-// the ring offset to write at. It accounts wrap padding.
-func (b *binding) reserveRing(p *simtime.Proc, need int64) int64 {
+// the ring offset to write at. It accounts wrap padding. It aborts
+// with ErrNodeDead if the binding is severed (crash or membership)
+// and with ErrTimeout if no credit arrives within the RPC timeout —
+// a full ring whose head updates were lost must not block forever;
+// the retry layer heals it by renegotiating the binding.
+func (i *Instance) reserveRing(p *simtime.Proc, b *binding, need int64, probe bool) (int64, error) {
+	var deadline simtime.Time
+	if i.opts.RPCTimeout > 0 {
+		deadline = p.Now() + i.opts.RPCTimeout
+	}
 	for {
+		if i.stopped || b.dead || (!probe && i.deadView[b.dst]) {
+			return 0, ErrNodeDead
+		}
 		// Pad to the ring start if the message would wrap.
 		pad := int64(0)
 		if off := b.tail % b.ringSize; off+need > b.ringSize {
@@ -244,19 +269,29 @@ func (b *binding) reserveRing(p *simtime.Proc, need int64) int64 {
 			b.tail += pad
 			off := b.tail % b.ringSize
 			b.tail += need
-			return off
+			return off, nil
 		}
-		b.space.Wait(p)
+		if deadline > 0 {
+			if p.Now() >= deadline {
+				return 0, ErrTimeout
+			}
+			b.space.WaitTimeout(p, deadline-p.Now())
+		} else {
+			b.space.Wait(p)
+		}
 	}
 }
 
 // postToRing writes a framed message into the binding's ring at the
 // server with one unsignaled write-imm (§5.1: the sending state is
 // never polled; reply or timeout detects failure).
-func (i *Instance) postToRing(p *simtime.Proc, b *binding, fn int, token uint32, replyPA hostmem.PAddr, input []byte, pri Priority) error {
+func (i *Instance) postToRing(p *simtime.Proc, b *binding, fn int, token uint32, replyPA hostmem.PAddr, input []byte, pri Priority, probe bool) error {
 	need := int64(ringHdr + len(input))
 	aligned := (need + ringAlign - 1) &^ (ringAlign - 1)
-	off := b.reserveRing(p, aligned)
+	off, err := i.reserveRing(p, b, aligned, probe)
+	if err != nil {
+		return err
+	}
 
 	msg := make([]byte, need)
 	binary.LittleEndian.PutUint32(msg[0:], uint32(need))
@@ -268,7 +303,7 @@ func (i *Instance) postToRing(p *simtime.Proc, b *binding, fn int, token uint32,
 	i.qos.throttle(p, pri, need)
 	qp, release := i.pickQP(p, b.dst, pri)
 	p.Work(i.cfg.NICDoorbell)
-	err := i.node.NIC.PostSend(p.Now(), qp, rnic.WR{
+	err = i.node.NIC.PostSend(p.Now(), qp, rnic.WR{
 		Kind:      rnic.OpWriteImm,
 		WRID:      i.wrID(),
 		Signaled:  false,
@@ -293,7 +328,17 @@ func (i *Instance) rpcInternal(p *simtime.Proc, dst, fn int, input []byte, maxRe
 // means wait forever (used by locks and barriers, whose replies are
 // intentionally withheld until the event occurs).
 func (i *Instance) rpcInternalT(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time) ([]byte, error) {
+	return i.rpcInternalProbe(p, dst, fn, input, maxReply, pri, timeout, false)
+}
+
+// rpcInternalProbe is rpcInternalT with the probe flag exposed:
+// keepalives may target declared-dead nodes, since a successful probe
+// is exactly what revives one.
+func (i *Instance) rpcInternalProbe(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time, probe bool) ([]byte, error) {
 	p.Work(i.cfg.LITECheck)
+	if i.stopped {
+		return nil, ErrNodeDead
+	}
 	if dst == i.node.ID {
 		return i.rpcLocal(p, fn, input, timeout)
 	}
@@ -302,11 +347,11 @@ func (i *Instance) rpcInternalT(p *simtime.Proc, dst, fn int, input []byte, maxR
 		return nil, err
 	}
 	token := i.token()
-	respPA := i.scratch.alloc(maxReply)
-	pc := &pendingCall{respPA: respPA}
+	respPA := i.scratchAlloc(maxReply)
+	pc := &pendingCall{respPA: respPA, dst: dst, probe: probe}
 	i.pending[token] = pc
 
-	if err := i.postToRing(p, b, fn, token, respPA, input, pri); err != nil {
+	if err := i.postToRing(p, b, fn, token, respPA, input, pri, probe); err != nil {
 		delete(i.pending, token)
 		return nil, err
 	}
@@ -315,8 +360,17 @@ func (i *Instance) rpcInternalT(p *simtime.Proc, dst, fn int, input []byte, maxR
 		deadline = p.Now() + timeout
 	}
 	if !i.adaptiveWait(p, &pc.cond, func() bool { return pc.done }, deadline) {
-		delete(i.pending, token)
+		// The server may yet deliver a late reply write-imm into
+		// respPA. Keep the pending entry and quarantine the buffer so
+		// the allocator cannot hand it out on ring wraparound while
+		// that write is in flight; the quarantine lifts when the reply
+		// lands or the membership epoch advances past this call.
+		pc.abandoned = true
+		i.scratch.quarantine(respPA, maxReply, token, i.epoch)
 		return nil, ErrTimeout
+	}
+	if pc.err != nil {
+		return nil, pc.err
 	}
 	if pc.respLen > maxReply {
 		pc.respLen = maxReply
@@ -333,6 +387,9 @@ func (i *Instance) rpcInternalT(p *simtime.Proc, dst, fn int, input []byte, maxR
 // rpcLocal dispatches an RPC whose server is this node without
 // touching the network.
 func (i *Instance) rpcLocal(p *simtime.Proc, fn int, input []byte, timeout simtime.Time) ([]byte, error) {
+	if i.stopped {
+		return nil, ErrNodeDead
+	}
 	f, ok := i.funcs[fn]
 	if !ok {
 		return nil, ErrNoSuchRPC
@@ -347,6 +404,9 @@ func (i *Instance) rpcLocal(p *simtime.Proc, fn int, input []byte, timeout simti
 	}
 	if !i.adaptiveWait(p, &pc.cond, func() bool { return pc.done }, deadline) {
 		return nil, ErrTimeout
+	}
+	if pc.err != nil {
+		return nil, pc.err
 	}
 	return call.localReply, nil
 }
@@ -371,8 +431,11 @@ func (i *Instance) recvRPCInternal(p *simtime.Proc, fn int) (*Call, error) {
 	}
 	var call *Call
 	for call == nil {
-		if !i.adaptiveWait(p, &f.cond, func() bool { return len(f.queue) > 0 }, 0) {
+		if !i.adaptiveWait(p, &f.cond, func() bool { return i.stopped || len(f.queue) > 0 }, 0) {
 			return nil, ErrTimeout
+		}
+		if i.stopped {
+			return nil, ErrNodeDead
 		}
 		if len(f.queue) == 0 {
 			continue // another server thread took it during our wakeup
@@ -431,14 +494,17 @@ func (i *Instance) sendInternal(p *simtime.Proc, dst int, data []byte, pri Prior
 	if err != nil {
 		return err
 	}
-	return i.postToRing(p, b, funcMsg, 0, 0, data, pri)
+	return i.postToRing(p, b, funcMsg, 0, 0, data, pri, false)
 }
 
 // recvInternal implements the receive side of LT_send.
 func (i *Instance) recvInternal(p *simtime.Proc) (Message, error) {
 	for {
-		if !i.adaptiveWait(p, &i.msgCond, func() bool { return len(i.msgQueue) > 0 }, 0) {
+		if !i.adaptiveWait(p, &i.msgCond, func() bool { return i.stopped || len(i.msgQueue) > 0 }, 0) {
 			return Message{}, ErrTimeout
+		}
+		if i.stopped {
+			return Message{}, ErrNodeDead
 		}
 		if len(i.msgQueue) == 0 {
 			continue // another receiver took it during our wakeup
@@ -473,7 +539,7 @@ const pollerHandleCost = 120 * time.Nanosecond
 // every application (§5.1, §6.1). It uses the same adaptive model as
 // user threads so an idle node does not burn a core forever.
 func (i *Instance) pollerLoop(p *simtime.Proc) {
-	for {
+	for !i.stopped {
 		if cqe, ok := i.recvCQ.TryPoll(); ok {
 			p.Work(pollerHandleCost)
 			i.PollerCPU += pollerHandleCost
@@ -511,6 +577,13 @@ func (i *Instance) handleRecvCQE(p *simtime.Proc, cqe rnic.CQE) {
 		token := cqe.Imm & 0x0fffffff
 		if pc, ok := i.pending[token]; ok {
 			delete(i.pending, token)
+			if pc.abandoned {
+				// Late reply for a call whose waiter already timed
+				// out: the write has landed, so the quarantined reply
+				// buffer is safe to reuse.
+				i.scratch.release(token)
+				return
+			}
 			pc.respLen = cqe.Len
 			pc.done = true
 			pc.cond.Broadcast(i.cls.Env)
@@ -574,6 +647,9 @@ func (i *Instance) handleRPCReq(p *simtime.Proc, src, fn int, off int64) {
 // queueHeadUpdate hands a ring-credit notification to the background
 // header-update thread (step f in Figure 9).
 func (i *Instance) queueHeadUpdate(p *simtime.Proc, client, fn int, delta int64) {
+	if i.stopped {
+		return // crashed mid-consume: the credit dies with the node
+	}
 	if !i.headUpd.TrySend(p, headUpdate{client: client, fn: fn, delta: delta}) {
 		// The queue is sized far beyond any realistic backlog; losing a
 		// credit would leak ring space, so fail loudly.
@@ -625,8 +701,11 @@ func (i *Instance) topUpRecvs() {
 // systemWorkerLoop executes LITE-internal RPC handlers (control plane,
 // memory operations, locks, barriers) from the system queue.
 func (i *Instance) systemWorkerLoop(p *simtime.Proc) {
-	for {
-		if !i.adaptiveWait(p, &i.sysCond, func() bool { return len(i.sysQueue) > 0 }, 0) {
+	for !i.stopped {
+		if !i.adaptiveWait(p, &i.sysCond, func() bool { return i.stopped || len(i.sysQueue) > 0 }, 0) {
+			return
+		}
+		if i.stopped {
 			return
 		}
 		if len(i.sysQueue) == 0 {

@@ -164,7 +164,7 @@ var nextLockSeq uint64
 func (i *Instance) allocLockLocal() Lock {
 	nextLockSeq++
 	id := uint64(i.node.ID)<<32 | nextLockSeq&0xffffffff
-	pa := i.scratch.alloc(8)
+	pa := i.scratchAlloc(8)
 	_ = i.node.Mem.Write(pa, make([]byte, 8))
 	i.locks[id] = &lockState{pa: pa}
 	return Lock{ID: id, Owner: i.node.ID, pa: pa}

@@ -90,6 +90,12 @@ type NIC struct {
 	// Counters for diagnostics and experiments.
 	OpsPosted   int64
 	OpsDeliverd int64
+
+	// Failure counters (see FailureStats). Timeouts counts requests
+	// that hit the RC transport timeout; rnrExhausted counts sends
+	// that exhausted their receiver-not-ready retry budget.
+	timeouts     int64
+	rnrExhausted int64
 }
 
 // Node returns the node id this NIC is installed at.
@@ -103,6 +109,13 @@ func (n *NIC) Registry() *Registry { return n.reg }
 
 // MRCount returns the number of registered memory regions.
 func (n *NIC) MRCount() int { return len(n.mrs) }
+
+// FailureStats returns the NIC's failure counters: requests that
+// completed (or were silently dropped, for unsignaled sends) with
+// StatusTimeout, and sends that exhausted the RNR retry budget.
+func (n *NIC) FailureStats() (timeouts, rnrExhausted int64) {
+	return n.timeouts, n.rnrExhausted
+}
 
 // CacheStats returns hit/miss counters of the three SRAM caches.
 func (n *NIC) CacheStats() (keyHits, keyMisses, pteHits, pteMisses int64) {

@@ -96,6 +96,14 @@ func (n *NIC) ackProcess() simtime.Time { return n.cfg().NICProcess / 2 }
 
 // completeSend pushes a send-side completion at time t if requested.
 func (n *NIC) completeSend(t simtime.Time, qp *QP, wr WR, st Status) {
+	// Failure accounting happens regardless of signaling, so chaos
+	// runs can report losses that produced no visible completion.
+	switch st {
+	case StatusTimeout:
+		n.timeouts++
+	case StatusRNRExceeded:
+		n.rnrExhausted++
+	}
 	if !wr.Signaled {
 		return
 	}
