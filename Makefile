@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race bench bench-smoke smoke obs-guard
 
-ci: fmt vet build race
+ci: fmt vet build race smoke obs-guard
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -24,3 +24,28 @@ race:
 
 bench:
 	$(GO) run ./cmd/litebench -all
+
+# bench-smoke regenerates the machine-readable perf feed from a fast
+# experiment subset (trace and breakdown finish in milliseconds).
+bench-smoke:
+	$(GO) run ./cmd/litebench -metrics -json BENCH_litebench.json trace breakdown
+
+# smoke: the harness lists its experiments and one runs end to end.
+smoke:
+	$(GO) run ./cmd/litebench -list
+	$(GO) run ./cmd/litebench trace
+
+# obs-guard: collecting metrics must not move a single virtual-time
+# event — the same experiment renders identical tables with and
+# without -metrics (metric dump lines are '%'-prefixed; the bracketed
+# footer carries wall time, so both are stripped before comparing).
+obs-guard:
+	@a=$$($(GO) run ./cmd/litebench breakdown | grep -v '^\['); \
+	b=$$($(GO) run ./cmd/litebench -metrics breakdown | grep -v '^\[' | grep -v '^%'); \
+	if [ "$$a" = "$$b" ]; then \
+		echo "obs-guard: metrics leave the virtual timeline unchanged"; \
+	else \
+		echo "obs-guard: DRIFT between plain and -metrics runs"; \
+		echo "--- plain ---"; echo "$$a"; \
+		echo "--- with -metrics ---"; echo "$$b"; exit 1; \
+	fi

@@ -1,13 +1,16 @@
 // Command litebench regenerates the tables and figures of the LITE
 // paper's evaluation (Tsai & Zhang, SOSP'17) on the simulated
 // substrate. Run with -list to enumerate experiments, with experiment
-// ids to run a subset, or with -all for everything.
+// ids to run a subset, or with -all for everything. -metrics appends
+// each experiment's observability snapshot; -json additionally writes
+// every table (and snapshot) as a machine-readable report.
 //
 // Usage:
 //
 //	litebench -list
 //	litebench fig4 fig6 fig10
 //	litebench -all
+//	litebench -metrics -json BENCH_litebench.json trace breakdown
 package main
 
 import (
@@ -17,11 +20,14 @@ import (
 	"time"
 
 	"lite/internal/bench"
+	"lite/internal/obs"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	all := flag.Bool("all", false, "run every experiment")
+	metrics := flag.Bool("metrics", false, "collect and print observability metrics per experiment")
+	jsonPath := flag.String("json", "", "write a machine-readable report to this file")
 	flag.Parse()
 
 	if *list {
@@ -38,22 +44,55 @@ func main() {
 		}
 	}
 	if len(ids) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: litebench [-list|-all] [experiment ids...]")
+		fmt.Fprintln(os.Stderr, "usage: litebench [-list|-all] [-metrics] [-json file] [experiment ids...]")
 		os.Exit(2)
 	}
+	if *metrics {
+		bench.SetObsEnabled(true)
+	}
+	var results []bench.JSONResult
 	failed := false
 	for _, id := range ids {
 		start := time.Now()
 		tab, err := bench.Run(id)
+		wall := time.Since(start)
+		if *jsonPath != "" {
+			results = append(results, bench.NewJSONResult(id, tab, wall, err))
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			failed = true
 			continue
 		}
 		fmt.Print(tab.Format())
-		fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *metrics && tab.Metrics != nil {
+			printMetrics(tab.Metrics)
+		}
+		// Virtual time is the measurement (how long the simulated
+		// cluster ran); wall time is merely what the simulation cost.
+		fmt.Printf("[%s simulated %v of virtual time in %v of wall time]\n\n",
+			id, tab.Virtual, wall.Round(time.Millisecond))
+	}
+	if *jsonPath != "" {
+		if err := bench.WriteJSON(*jsonPath, results); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			failed = true
+		}
 	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// printMetrics dumps a snapshot as '%'-prefixed lines, so tooling
+// (and the Makefile's obs-guard) can strip them from table output.
+func printMetrics(s *obs.Snapshot) {
+	for _, name := range s.CounterNames() {
+		fmt.Printf("%% counter %-28s %d\n", name, s.Counters[name])
+	}
+	for _, name := range s.HistNames() {
+		h := s.Hists[name]
+		fmt.Printf("%% hist    %-28s n=%d mean=%v p50=%v p99=%v max=%v\n",
+			name, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"lite/internal/cluster"
 	"lite/internal/lite"
+	"lite/internal/obs"
 	"lite/internal/params"
 	"lite/internal/simtime"
 )
@@ -22,6 +23,15 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+
+	// Virtual is the longest virtual-time span simulated by any cluster
+	// the experiment built — the "how long would this have taken on real
+	// hardware" figure, as opposed to host wall time.
+	Virtual simtime.Time
+	// Metrics is the merged observability snapshot across every cluster
+	// the experiment built. Nil unless metrics collection was enabled
+	// with SetObsEnabled (or an experiment enabled obs itself).
+	Metrics *obs.Snapshot
 }
 
 // AddRow appends a formatted row.
@@ -96,16 +106,61 @@ func Lookup(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// Run executes one experiment by id.
+// Run executes one experiment by id. The returned table carries the
+// virtual duration and (when enabled) merged metrics of every cluster
+// the experiment constructed.
 func Run(id string) (*Table, error) {
 	e, ok := Lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown experiment %q", id)
 	}
-	return e.Run()
+	runClusters = nil
+	tab, err := e.Run()
+	if tab != nil {
+		for _, cls := range runClusters {
+			if d := cls.Env.Now(); d > tab.Virtual {
+				tab.Virtual = d
+			}
+		}
+		if obsEnabled {
+			var snaps []obs.Snapshot
+			for _, cls := range runClusters {
+				if cls.Obs != nil {
+					snaps = append(snaps, cls.Obs.Snapshot())
+				}
+			}
+			if len(snaps) > 0 {
+				merged := obs.Merge(snaps...)
+				tab.Metrics = &merged
+			}
+		}
+	}
+	runClusters = nil
+	return tab, err
 }
 
 // ---- shared helpers ----
+
+// obsEnabled makes newLITECfg/newBare enable observability on every
+// cluster they build, so Run can attach a metrics snapshot.
+var obsEnabled bool
+
+// runClusters collects the clusters built during the current Run call
+// (the harness is single-threaded).
+var runClusters []*cluster.Cluster
+
+// SetObsEnabled toggles metrics collection for subsequently run
+// experiments.
+func SetObsEnabled(v bool) { obsEnabled = v }
+
+// track registers a cluster with the current experiment run.
+func track(cls *cluster.Cluster) *cluster.Cluster {
+	if obsEnabled {
+		cls.EnableObs()
+	}
+	runClusters = append(runClusters, cls)
+	return cls
+}
 
 // newLITE builds an n-node cluster with LITE booted.
 func newLITE(n int) (*cluster.Cluster, *lite.Deployment, error) {
@@ -126,6 +181,7 @@ func newLITECfg(cfg *params.Config, n int, opts lite.Options) (*cluster.Cluster,
 	if err != nil {
 		return nil, nil, err
 	}
+	track(cls)
 	dep, err := lite.Start(cls, opts)
 	if err != nil {
 		return nil, nil, err
@@ -136,7 +192,11 @@ func newLITECfg(cfg *params.Config, n int, opts lite.Options) (*cluster.Cluster,
 // newBare builds an n-node cluster without LITE.
 func newBare(n int) (*cluster.Cluster, error) {
 	cfg := params.Default()
-	return cluster.New(&cfg, n, 4<<30)
+	cls, err := cluster.New(&cfg, n, 4<<30)
+	if err != nil {
+		return nil, err
+	}
+	return track(cls), nil
 }
 
 // us formats a duration in microseconds.

@@ -65,12 +65,10 @@ func chaosRun() (*Table, error) {
 		}
 	}
 
-	var nicTimeouts, nicRNR int64
-	for _, nd := range cls.Nodes {
-		to, rnr := nd.NIC.FailureStats()
-		nicTimeouts += to
-		nicRNR += rnr
-	}
+	// faults.Attach enabled the cluster's observability domain; the
+	// failure counters every layer recorded are read back from it.
+	nicTimeouts := cls.Obs.Total("rnic.timeouts")
+	nicRNR := cls.Obs.Total("rnic.rnr_exhausted")
 
 	t.AddRow("MR wall time (ms)", fmt.Sprintf("%.2f", float64(res.Total)/1e6))
 	t.AddRow("result correct", fmt.Sprintf("%v", correct))

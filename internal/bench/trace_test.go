@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"lite/internal/obs"
+	"lite/internal/params"
+)
+
+// TestTraceTimelineNeutral is the core obs guarantee: enabling
+// tracing must not move a single event, so the traced run's measured
+// latency equals the untraced run's, and the client root span covers
+// exactly that interval.
+func TestTraceTimelineNeutral(t *testing.T) {
+	base, spans, err := traceRPC(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spans != nil {
+		t.Fatal("untraced run produced spans")
+	}
+	lat, spans, err := traceRPC(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != base {
+		t.Fatalf("tracing perturbed the timeline: traced %v vs untraced %v", lat, base)
+	}
+	sums := obs.SumByName(spans)
+	if sums["lite.rpc"] != lat {
+		t.Fatalf("client root span %v != end-to-end latency %v", sums["lite.rpc"], lat)
+	}
+}
+
+// TestTraceBreakdownComponents pins the §5.3 numbers that fall out of
+// the span tree against the cost model: two entry crossings (client
+// LT_RPC, server LT_replyRPC) and two metadata checks.
+func TestTraceBreakdownComponents(t *testing.T) {
+	lat, spans, err := traceRPC(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := params.Default()
+	sums := obs.SumByName(spans)
+	counts := obs.CountByName(spans)
+	if counts["hostos.crossing"] != 2 || sums["hostos.crossing"] != 2*cfg.SyscallCrossing {
+		t.Fatalf("crossings: %d spans, %v (want 2 x %v)", counts["hostos.crossing"], sums["hostos.crossing"], cfg.SyscallCrossing)
+	}
+	if counts["lite.check"] != 2 || sums["lite.check"] != 2*cfg.LITECheck {
+		t.Fatalf("metadata checks: %d spans, %v", counts["lite.check"], sums["lite.check"])
+	}
+	if counts["lite.rpc"] != 1 || counts["lite.rpc.server"] != 1 {
+		t.Fatalf("roots: %d client, %d server", counts["lite.rpc"], counts["lite.rpc.server"])
+	}
+	// The request and the reply each traverse the NIC pipeline once.
+	if counts["rnic.tx"] != 2 || counts["rnic.rx"] != 2 || counts["fabric.wire"] != 2 {
+		t.Fatalf("pipeline spans: tx %d rx %d wire %d", counts["rnic.tx"], counts["rnic.rx"], counts["fabric.wire"])
+	}
+	// Every component fits inside the end-to-end interval.
+	for name, d := range sums {
+		if d < 0 || (name != "lite.rpc" && d > lat) {
+			t.Fatalf("component %s = %v outside [0, %v]", name, d, lat)
+		}
+	}
+}
+
+// TestTraceDeterministic: two runs of the same traced workload yield
+// byte-identical span sets — ids, names, nodes, and timestamps.
+func TestTraceDeterministic(t *testing.T) {
+	lat1, spans1, err := traceRPC(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat2, spans2, err := traceRPC(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat1 != lat2 {
+		t.Fatalf("latencies differ across identical runs: %v vs %v", lat1, lat2)
+	}
+	if !reflect.DeepEqual(spans1, spans2) {
+		t.Fatalf("traces differ across identical runs:\n%+v\nvs\n%+v", spans1, spans2)
+	}
+}
+
+// TestRunFillsVirtualAndMetrics covers the harness plumbing: Run must
+// report the cluster's virtual duration, and with SetObsEnabled the
+// table carries a merged snapshot the JSON feed can serialize.
+func TestRunFillsVirtualAndMetrics(t *testing.T) {
+	SetObsEnabled(true)
+	defer SetObsEnabled(false)
+	tab, err := Run("trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Virtual <= 0 {
+		t.Fatalf("virtual duration = %v", tab.Virtual)
+	}
+	if tab.Metrics == nil {
+		t.Fatal("metrics snapshot missing with obs enabled")
+	}
+	if tab.Metrics.Counters["lite.rpc.calls"] == 0 {
+		t.Fatalf("rpc calls counter empty: %+v", tab.Metrics.Counters)
+	}
+	if tab.Metrics.Hists["lite.rpc.latency"].Count() == 0 {
+		t.Fatal("rpc latency histogram empty")
+	}
+	res := NewJSONResult("trace", tab, 5*time.Millisecond, nil)
+	if res.VirtualNs != int64(tab.Virtual) || res.WallNs != int64(5*time.Millisecond) {
+		t.Fatalf("json result times = %+v", res)
+	}
+	if res.Metrics == nil || len(res.Metrics.Histograms) == 0 {
+		t.Fatal("json result lost the metrics")
+	}
+}
+
+// TestMetricsDoNotPerturbTables: the same experiment renders the same
+// rows with and without metrics collection (the obs-guard in make ci
+// re-checks this end to end through the CLI).
+func TestMetricsDoNotPerturbTables(t *testing.T) {
+	plain, err := Run("breakdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetObsEnabled(true)
+	defer SetObsEnabled(false)
+	observed, err := Run("breakdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Rows, observed.Rows) || plain.Virtual != observed.Virtual {
+		t.Fatalf("metrics collection changed the experiment:\n%v\nvs\n%v", plain.Rows, observed.Rows)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"lite/internal/fabric"
 	"lite/internal/hostmem"
 	"lite/internal/hostos"
+	"lite/internal/obs"
 	"lite/internal/params"
 	"lite/internal/rnic"
 	"lite/internal/simtime"
@@ -25,6 +26,8 @@ type Node struct {
 	TCP      *tcpip.Stack
 	KernelAS *hostmem.AddressSpace
 	CPU      *simtime.CPUAccount
+	// Obs is the node's metric registry; nil until EnableObs.
+	Obs *obs.Registry
 }
 
 // Cluster is the whole simulated testbed.
@@ -35,6 +38,12 @@ type Cluster struct {
 	Reg   *rnic.Registry
 	Net   *tcpip.Network
 	Nodes []*Node
+
+	// Obs is the cluster's observability domain; nil until EnableObs
+	// (observability is off by default so the cost model is never
+	// perturbed — not that obs would perturb it, but off-by-default
+	// keeps the disabled fast path exercised everywhere).
+	Obs *obs.Domain
 
 	// down marks crashed nodes (see CrashNode).
 	down map[int]bool
@@ -78,6 +87,26 @@ func New(cfg *params.Config, n int, memPerNode int64) (*Cluster, error) {
 		})
 	}
 	return c, nil
+}
+
+// EnableObs creates the cluster's observability domain and points
+// every layer's collector at it: each node's NIC and OS report into
+// that node's registry, the shared fabric into the domain's global
+// registry. Idempotent, and callable at any point in the simulation
+// (layers read their registry pointer on every event). Returns the
+// domain for convenience.
+func (c *Cluster) EnableObs() *obs.Domain {
+	if c.Obs != nil {
+		return c.Obs
+	}
+	c.Obs = obs.NewDomain(len(c.Nodes))
+	c.Fab.SetObs(c.Obs.Global())
+	for i, nd := range c.Nodes {
+		nd.Obs = c.Obs.Node(i)
+		nd.NIC.SetObs(nd.Obs)
+		nd.OS.SetObs(nd.Obs)
+	}
+	return c.Obs
 }
 
 // MustNew is New for tests and examples; it panics on error.
@@ -137,6 +166,7 @@ func (c *Cluster) CrashNode(p *simtime.Proc, node int) {
 		return
 	}
 	c.down[node] = true
+	c.Obs.Global().Add("cluster.crashes", 1)
 	c.Fab.SetNodeDown(node)
 	for _, fn := range c.onDown {
 		fn(p, node)
@@ -152,6 +182,7 @@ func (c *Cluster) RestartNode(p *simtime.Proc, node int) {
 		return
 	}
 	delete(c.down, node)
+	c.Obs.Global().Add("cluster.restarts", 1)
 	c.Fab.SetNodeUp(node)
 	for _, fn := range c.onUp {
 		fn(p, node)

@@ -14,6 +14,7 @@ package fabric
 import (
 	"fmt"
 
+	"lite/internal/obs"
 	"lite/internal/params"
 	"lite/internal/simtime"
 )
@@ -34,8 +35,9 @@ type Fabric struct {
 	// message; returning true silently drops it. Used for
 	// probabilistic loss injection.
 	dropHook func(at simtime.Time, src, dst int, size int64) bool
-	// dropped counts messages lost to the drop hook.
-	dropped int64
+	// reg, when non-nil, receives fabric counters ("fabric.msgs",
+	// "fabric.bytes", "fabric.dropped") and queueing histograms.
+	reg *obs.Registry
 }
 
 type port struct {
@@ -123,8 +125,10 @@ func (f *Fabric) SetDropHook(h func(at simtime.Time, src, dst int, size int64) b
 	f.dropHook = h
 }
 
-// Dropped returns the number of messages lost to the drop hook.
-func (f *Fabric) Dropped() int64 { return f.dropped }
+// SetObs directs the fabric's metrics into the given registry
+// (typically a cluster domain's global registry, since the fabric is
+// shared). A nil registry disables collection.
+func (f *Fabric) SetObs(reg *obs.Registry) { f.reg = reg }
 
 // Reachable reports whether src can currently reach dst.
 func (f *Fabric) Reachable(src, dst int) bool {
@@ -157,7 +161,7 @@ func (f *Fabric) ReservePath(at simtime.Time, src, dst int, size int64) (simtime
 		return at, true
 	}
 	if f.dropHook != nil && f.dropHook(at, src, dst, size) {
-		f.dropped++
+		f.reg.Add("fabric.dropped", 1)
 		return 0, false
 	}
 	sp := f.ports[src]
@@ -169,7 +173,16 @@ func (f *Fabric) ReservePath(at simtime.Time, src, dst int, size int64) (simtime
 	// ingress link is then occupied for one serialization time.
 	headArrive := egressDone - ser + f.cfg.PropagationDelay + f.cfg.SwitchDelay
 	headArrive += f.nodeDelay[src] + f.nodeDelay[dst]
-	return dp.ingress.Reserve(headArrive, ser), true
+	done := dp.ingress.Reserve(headArrive, ser)
+	if f.reg != nil {
+		f.reg.Add("fabric.msgs", 1)
+		f.reg.Add("fabric.bytes", size)
+		// Queue wait: time spent waiting behind earlier messages for
+		// the egress link, beyond the message's own serialization.
+		f.reg.Observe("fabric.queue_wait", egressDone-ser-at)
+		f.reg.Observe("fabric.serialize", ser)
+	}
+	return done, true
 }
 
 // EgressBusy returns the total busy time of a node's egress link, for

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"lite/internal/obs"
 	"lite/internal/simtime"
 )
 
@@ -64,6 +65,8 @@ func TestNodeDownComposesWithPartition(t *testing.T) {
 
 func TestDropHookLossAndCounting(t *testing.T) {
 	f, _ := newFab(t)
+	reg := obs.NewRegistry(-1)
+	f.SetObs(reg)
 	drop := false
 	f.SetDropHook(func(at simtime.Time, src, dst int, size int64) bool { return drop })
 	if _, ok := f.ReservePath(0, 0, 1, 64); !ok {
@@ -77,8 +80,8 @@ func TestDropHookLossAndCounting(t *testing.T) {
 	if _, ok := f.ReservePath(0, 1, 1, 64); !ok {
 		t.Fatal("loopback message dropped by loss hook")
 	}
-	if got := f.Dropped(); got != 1 {
-		t.Fatalf("Dropped() = %d, want 1", got)
+	if got := reg.Counter("fabric.dropped").Value(); got != 1 {
+		t.Fatalf("fabric.dropped = %d, want 1", got)
 	}
 }
 

@@ -173,6 +173,9 @@ type Injector struct {
 // remaining events are moot.
 func Attach(cls *cluster.Cluster, pl *Plan) *Injector {
 	inj := &Injector{cls: cls, plan: pl, rng: newRNG(pl.Seed)}
+	// Drop accounting lives in the observability registry; make sure
+	// one exists so Dropped() always has a counter to read.
+	cls.EnableObs()
 	cls.Fab.SetDropHook(func(at simtime.Time, src, dst int, size int64) bool {
 		return inj.rate > 0 && inj.rng.float64() < inj.rate
 	})
@@ -189,7 +192,7 @@ func Attach(cls *cluster.Cluster, pl *Plan) *Injector {
 }
 
 // Dropped returns the number of messages the loss hook has dropped.
-func (inj *Injector) Dropped() int64 { return inj.cls.Fab.Dropped() }
+func (inj *Injector) Dropped() int64 { return inj.cls.Obs.Total("fabric.dropped") }
 
 func (inj *Injector) apply(p *simtime.Proc, ev Event) {
 	switch ev.Kind {

@@ -211,8 +211,19 @@ func (c *Client) RegisterRPC(id int) error { return c.inst.RegisterRPC(id) }
 // return the reply (at most maxReply bytes). On the user level only
 // the kernel-entry crossing sits on the critical path (§5.2).
 func (c *Client) RPC(p *simtime.Proc, dst, fn int, input []byte, maxReply int64) ([]byte, error) {
+	reg := c.inst.obsReg()
+	t0 := p.Now()
+	end := c.inst.rootSpan(p, "lite.rpc")
 	c.enter(p)
-	return c.inst.rpcInternal(p, dst, fn, input, maxReply, c.pri)
+	out, err := c.inst.rpcInternal(p, dst, fn, input, maxReply, c.pri)
+	end()
+	reg.Add("lite.rpc.calls", 1)
+	if err != nil {
+		reg.Add("lite.rpc.errors", 1)
+	} else {
+		reg.Observe("lite.rpc.latency", p.Now()-t0)
+	}
+	return out, err
 }
 
 // RecvRPC implements LT_recvRPC: receive the next call to fn.
@@ -224,15 +235,23 @@ func (c *Client) RecvRPC(p *simtime.Proc, fn int) (*Call, error) {
 // ReplyRPC implements LT_replyRPC: send the function result back to
 // the caller. It may be invoked from any thread, once per call.
 func (c *Client) ReplyRPC(p *simtime.Proc, call *Call, output []byte) error {
+	end := c.inst.rootSpan(p, "lite.rpc.server")
 	c.enter(p)
-	return c.inst.replyRPCInternal(p, call, output, c.pri)
+	err := c.inst.replyRPCInternal(p, call, output, c.pri)
+	end()
+	return err
 }
 
 // ReplyRecvRPC combines LT_replyRPC and LT_recvRPC in one boundary
-// crossing — the optional API §5.2 adds for server loops.
+// crossing — the optional API §5.2 adds for server loops. The server
+// span closes once the reply is posted: the wait for the next call is
+// idle time, not part of serving this one.
 func (c *Client) ReplyRecvRPC(p *simtime.Proc, call *Call, output []byte, fn int) (*Call, error) {
+	end := c.inst.rootSpan(p, "lite.rpc.server")
 	c.enter(p)
-	if err := c.inst.replyRPCInternal(p, call, output, c.pri); err != nil {
+	err := c.inst.replyRPCInternal(p, call, output, c.pri)
+	end()
+	if err != nil {
 		return nil, err
 	}
 	return c.inst.recvRPCInternal(p, fn)

@@ -90,7 +90,7 @@ func TestSelfSendAndSelfRPC(t *testing.T) {
 func TestQoSRangesAndThrottleUnits(t *testing.T) {
 	var sig qosSignals
 	var q qosState
-	q.init(4, &sig)
+	q.init(nil, 4, &sig)
 	// No QoS: full range, no throttle.
 	if lo, hi := q.qpRange(PriLow, 4); lo != 0 || hi != 4 {
 		t.Fatalf("none range = [%d,%d)", lo, hi)

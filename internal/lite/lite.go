@@ -221,7 +221,7 @@ func Start(cls *cluster.Cluster, opts Options) (*Deployment, error) {
 			locks:    make(map[uint64]*lockState),
 			deadView: make(map[int]bool),
 		}
-		inst.qos.init(opts.QPsPerPair, &dep.qsig)
+		inst.qos.init(inst, opts.QPsPerPair, &dep.qsig)
 		// One global MR per node covering all of physical memory,
 		// registered with physical addresses (§4.1): one lkey/rkey, no
 		// PTEs on the NIC, no pinning pass.

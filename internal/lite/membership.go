@@ -69,6 +69,7 @@ func (i *Instance) proberLoop(p *simtime.Proc, target int) {
 				continue
 			}
 			m.miss[target]++
+			i.obsReg().Add("lite.heartbeat.misses", 1)
 			if m.miss[target] >= i.opts.HeartbeatMiss {
 				i.declareDead(p, target)
 			}
@@ -93,6 +94,8 @@ func (i *Instance) declareDead(p *simtime.Proc, target int) {
 	m := &i.dep.memb
 	m.dead[target] = true
 	m.epoch++
+	i.obsReg().Add("lite.membership.epochs", 1)
+	i.obsReg().Add("lite.membership.deaths", 1)
 	i.broadcastMembership(p)
 }
 
@@ -102,6 +105,8 @@ func (i *Instance) reviveNode(p *simtime.Proc, target int) {
 	delete(m.dead, target)
 	m.miss[target] = 0
 	m.epoch++
+	i.obsReg().Add("lite.membership.epochs", 1)
+	i.obsReg().Add("lite.membership.revivals", 1)
 	i.broadcastMembership(p)
 }
 
@@ -231,5 +236,7 @@ func (i *Instance) handleJoin(p *simtime.Proc, src int) {
 	m.miss[src] = 0
 	delete(m.dead, src)
 	m.epoch++
+	i.obsReg().Add("lite.membership.epochs", 1)
+	i.obsReg().Add("lite.membership.joins", 1)
 	i.broadcastMembership(p)
 }

@@ -1,0 +1,43 @@
+package lite
+
+import (
+	"lite/internal/obs"
+	"lite/internal/simtime"
+)
+
+// Observability plumbing. The registry pointer is read from the node
+// on every event (never cached at Start) so cluster.EnableObs works
+// whenever it is called; with observability off every call below is a
+// nil-receiver no-op. Nothing here advances virtual time: a traced
+// run and an untraced run produce identical timelines.
+
+// obsReg returns the node's metric registry, nil when observability
+// is disabled.
+func (i *Instance) obsReg() *obs.Registry { return i.node.Obs }
+
+// procSpan returns the process's active trace span, if any.
+func procSpan(p *simtime.Proc) *obs.Span {
+	s, _ := p.Trace().(*obs.Span)
+	return s
+}
+
+// noopEnd is returned by rootSpan when tracing is off, so the
+// disabled path allocates nothing.
+var noopEnd = func() {}
+
+// rootSpan opens a span and installs it as the process's active trace
+// context, so every layer the call passes through (hostos crossings,
+// ring posts, NIC pipelines) hangs its spans underneath. The returned
+// func closes the span and restores the previous context.
+func (i *Instance) rootSpan(p *simtime.Proc, name string) func() {
+	root := i.obsReg().StartSpan(p.Now(), name, procSpan(p))
+	if root == nil {
+		return noopEnd
+	}
+	prev := p.Trace()
+	p.SetTrace(root)
+	return func() {
+		root.Done(p.Now())
+		p.SetTrace(prev)
+	}
+}

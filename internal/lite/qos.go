@@ -47,11 +47,13 @@ type qosState struct {
 	mode QoSMode
 	k    int
 	sig  *qosSignals
+	inst *Instance
 
 	lowNext simtime.Time // leaky-bucket horizon for low priority
 }
 
-func (q *qosState) init(k int, sig *qosSignals) {
+func (q *qosState) init(inst *Instance, k int, sig *qosSignals) {
+	q.inst = inst
 	q.k = k
 	q.sig = sig
 }
@@ -118,6 +120,11 @@ func (q *qosState) throttle(p *simtime.Proc, pri Priority, bytes int64) {
 	}
 	q.lowNext = start + d
 	if start > p.Now() {
+		if q.inst != nil {
+			reg := q.inst.obsReg()
+			reg.Add("lite.qos.throttled", 1)
+			reg.Observe("lite.qos.throttle", start-p.Now())
+		}
 		p.SleepUntil(start)
 	}
 }

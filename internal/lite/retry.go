@@ -48,7 +48,9 @@ func (i *Instance) rpcRetryT(p *simtime.Proc, dst, fn int, input []byte, maxRepl
 		if a == attempts-1 {
 			break
 		}
+		i.obsReg().Add("lite.retry.attempts", 1)
 		if i.epoch != epochBefore || a >= 1 {
+			i.obsReg().Add("lite.retry.rebinds", 1)
 			i.resetBinding(dst, fn)
 		}
 		p.Sleep(i.retryDelay(p, a))

@@ -312,6 +312,7 @@ func (i *Instance) postToRing(p *simtime.Proc, b *binding, fn int, token uint32,
 		RemoteKey: i.dep.Instances[b.dst].globalMR.Key(),
 		RemoteOff: int64(b.ringPA) + off,
 		Imm:       encodeImm(tagRPCReq, fn, off),
+		Trace:     procSpan(p),
 	})
 	release()
 	return err
@@ -335,7 +336,11 @@ func (i *Instance) rpcInternalT(p *simtime.Proc, dst, fn int, input []byte, maxR
 // keepalives may target declared-dead nodes, since a successful probe
 // is exactly what revives one.
 func (i *Instance) rpcInternalProbe(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time, probe bool) ([]byte, error) {
+	reg := i.obsReg()
+	parent := procSpan(p)
+	t0 := p.Now()
 	p.Work(i.cfg.LITECheck)
+	reg.AddSpan(t0, p.Now(), "lite.check", parent)
 	if i.stopped {
 		return nil, ErrNodeDead
 	}
@@ -351,7 +356,10 @@ func (i *Instance) rpcInternalProbe(p *simtime.Proc, dst, fn int, input []byte, 
 	pc := &pendingCall{respPA: respPA, dst: dst, probe: probe}
 	i.pending[token] = pc
 
-	if err := i.postToRing(p, b, fn, token, respPA, input, pri, probe); err != nil {
+	post := reg.StartSpan(p.Now(), "lite.rpc.post", parent)
+	err = i.postToRing(p, b, fn, token, respPA, input, pri, probe)
+	post.Done(p.Now())
+	if err != nil {
 		delete(i.pending, token)
 		return nil, err
 	}
@@ -359,7 +367,10 @@ func (i *Instance) rpcInternalProbe(p *simtime.Proc, dst, fn int, input []byte, 
 	if timeout > 0 {
 		deadline = p.Now() + timeout
 	}
-	if !i.adaptiveWait(p, &pc.cond, func() bool { return pc.done }, deadline) {
+	wait := reg.StartSpan(p.Now(), "lite.rpc.wait", parent)
+	waited := i.adaptiveWait(p, &pc.cond, func() bool { return pc.done }, deadline)
+	wait.Done(p.Now())
+	if !waited {
 		// The server may yet deliver a late reply write-imm into
 		// respPA. Keep the pending entry and quarantine the buffer so
 		// the allocator cannot hand it out on ring wraparound while
@@ -455,7 +466,11 @@ func (i *Instance) recvRPCInternal(p *simtime.Proc, fn int) (*Call, error) {
 // replyRPCInternal implements LT_replyRPC: write-imm the return value
 // directly into the client's response buffer.
 func (i *Instance) replyRPCInternal(p *simtime.Proc, c *Call, output []byte, pri Priority) error {
+	reg := i.obsReg()
+	parent := procSpan(p)
+	t0 := p.Now()
 	p.Work(i.cfg.LITECheck)
+	reg.AddSpan(t0, p.Now(), "lite.check", parent)
 	if c.local {
 		c.localReply = append([]byte(nil), output...)
 		i.memcpyCost(p, int64(len(output)))
@@ -463,6 +478,7 @@ func (i *Instance) replyRPCInternal(p *simtime.Proc, c *Call, output []byte, pri
 		c.pend.cond.Broadcast(i.cls.Env)
 		return nil
 	}
+	post := reg.StartSpan(p.Now(), "lite.rpc.post", parent)
 	i.qos.throttle(p, pri, int64(len(output)))
 	qp, release := i.pickQP(p, c.Src, pri)
 	p.Work(i.cfg.NICDoorbell)
@@ -475,8 +491,10 @@ func (i *Instance) replyRPCInternal(p *simtime.Proc, c *Call, output []byte, pri
 		RemoteKey: i.dep.Instances[c.Src].globalMR.Key(),
 		RemoteOff: int64(c.replyPA),
 		Imm:       encodeReplyImm(c.token),
+		Trace:     parent,
 	})
 	release()
+	post.Done(p.Now())
 	return err
 }
 

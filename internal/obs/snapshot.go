@@ -1,0 +1,50 @@
+package obs
+
+import "sort"
+
+// Snapshot is a point-in-time copy of metric state: counter values by
+// name and cloned histograms by name. Snapshots from different
+// registries (or clusters) merge losslessly.
+type Snapshot struct {
+	Counters map[string]int64
+	Hists    map[string]*Histogram
+}
+
+// Merge combines snapshots: counters add, histograms merge
+// bucket-wise.
+func Merge(snaps ...Snapshot) Snapshot {
+	out := Snapshot{Counters: map[string]int64{}, Hists: map[string]*Histogram{}}
+	for _, s := range snaps {
+		for name, v := range s.Counters {
+			out.Counters[name] += v
+		}
+		for name, h := range s.Hists {
+			if dst, ok := out.Hists[name]; ok {
+				dst.Merge(h)
+			} else {
+				out.Hists[name] = h.Clone()
+			}
+		}
+	}
+	return out
+}
+
+// CounterNames returns the snapshot's counter names, sorted.
+func (s Snapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistNames returns the snapshot's histogram names, sorted.
+func (s Snapshot) HistNames() []string {
+	names := make([]string, 0, len(s.Hists))
+	for name := range s.Hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

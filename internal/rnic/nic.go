@@ -6,6 +6,7 @@ import (
 
 	"lite/internal/fabric"
 	"lite/internal/hostmem"
+	"lite/internal/obs"
 	"lite/internal/params"
 	"lite/internal/simtime"
 )
@@ -91,11 +92,9 @@ type NIC struct {
 	OpsPosted   int64
 	OpsDeliverd int64
 
-	// Failure counters (see FailureStats). Timeouts counts requests
-	// that hit the RC transport timeout; rnrExhausted counts sends
-	// that exhausted their receiver-not-ready retry budget.
-	timeouts     int64
-	rnrExhausted int64
+	// obs, when non-nil, receives the NIC's counters (cache hits and
+	// misses, RC timeouts, RNR exhaustion) and pipeline spans.
+	obs *obs.Registry
 }
 
 // Node returns the node id this NIC is installed at.
@@ -110,12 +109,15 @@ func (n *NIC) Registry() *Registry { return n.reg }
 // MRCount returns the number of registered memory regions.
 func (n *NIC) MRCount() int { return len(n.mrs) }
 
-// FailureStats returns the NIC's failure counters: requests that
-// completed (or were silently dropped, for unsignaled sends) with
-// StatusTimeout, and sends that exhausted the RNR retry budget.
-func (n *NIC) FailureStats() (timeouts, rnrExhausted int64) {
-	return n.timeouts, n.rnrExhausted
-}
+// SetObs directs the NIC's counters and pipeline spans into the given
+// registry (normally the owning node's). A nil registry disables
+// collection. Failure counters appear as "rnic.timeouts" and
+// "rnic.rnr_exhausted"; SRAM cache traffic as "rnic.<cache>.hits" /
+// ".misses" for the mrkey, pte and qp caches.
+func (n *NIC) SetObs(reg *obs.Registry) { n.obs = reg }
+
+// Obs returns the NIC's registry (nil when collection is disabled).
+func (n *NIC) Obs() *obs.Registry { return n.obs }
 
 // CacheStats returns hit/miss counters of the three SRAM caches.
 func (n *NIC) CacheStats() (keyHits, keyMisses, pteHits, pteMisses int64) {
@@ -221,8 +223,10 @@ func (n *NIC) QPCount() int { return len(n.qps) }
 // host-side MR table on a miss.
 func (n *NIC) keyCost(k uint32) simtime.Time {
 	if n.keyCache.Access(k) {
+		n.obs.Add("rnic.mrkey.hits", 1)
 		return 0
 	}
+	n.obs.Add("rnic.mrkey.misses", 1)
 	c := n.reg.cfg.MRKeyMissBase
 	if extra := len(n.mrs); extra > n.reg.cfg.MRKeyCacheEntries {
 		depth := math.Log2(float64(extra) / float64(n.reg.cfg.MRKeyCacheEntries))
@@ -243,7 +247,10 @@ func (n *NIC) pteCost(mr *MR, off, length int64) simtime.Time {
 	}
 	var c simtime.Time
 	for vp := start; vp < end; vp++ {
-		if !n.pteCache.Access(pteKey{mr.as, vp}) {
+		if n.pteCache.Access(pteKey{mr.as, vp}) {
+			n.obs.Add("rnic.pte.hits", 1)
+		} else {
+			n.obs.Add("rnic.pte.misses", 1)
 			c += n.reg.cfg.PTEMiss
 		}
 	}
@@ -253,8 +260,10 @@ func (n *NIC) pteCost(mr *MR, off, length int64) simtime.Time {
 // qpCost returns the QP-context SRAM cost of touching QP number qpn.
 func (n *NIC) qpCost(qpn int) simtime.Time {
 	if n.qpCache.Access(qpn) {
+		n.obs.Add("rnic.qp.hits", 1)
 		return 0
 	}
+	n.obs.Add("rnic.qp.misses", 1)
 	return n.reg.cfg.QPMiss
 }
 

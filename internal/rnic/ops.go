@@ -100,9 +100,9 @@ func (n *NIC) completeSend(t simtime.Time, qp *QP, wr WR, st Status) {
 	// runs can report losses that produced no visible completion.
 	switch st {
 	case StatusTimeout:
-		n.timeouts++
+		n.obs.Add("rnic.timeouts", 1)
 	case StatusRNRExceeded:
-		n.rnrExhausted++
+		n.obs.Add("rnic.rnr_exhausted", 1)
 	}
 	if !wr.Signaled {
 		return
@@ -171,6 +171,18 @@ func (n *NIC) postWrite(at simtime.Time, qp *QP, wr WR) {
 	}
 	t4 := rn.rxPipe.Reserve(t3, cfg.NICProcess+rn.qpCost(qp.remoteQPN)+rn.mrAccessCost(rmr, wr.RemoteOff, wr.Len))
 	t5 := rn.dma.Reserve(t4, params.TransferTime(wr.Len, cfg.DMABandwidth))
+
+	// Pipeline spans: the NIC computes its whole timeline up front, so
+	// the stages are recorded as pre-computed intervals hanging off the
+	// caller's span (carried in-simulation on the WR — never on the
+	// wire, so tracing cannot change message sizes or timing).
+	if wr.Trace != nil {
+		n.obs.AddSpan(at, t1, "rnic.tx", wr.Trace)
+		n.obs.AddSpan(t1, t2, "rnic.tx_dma", wr.Trace)
+		n.obs.AddSpan(t2, t3, "fabric.wire", wr.Trace)
+		rn.obs.AddSpan(t3, t4, "rnic.rx", wr.Trace)
+		rn.obs.AddSpan(t4, t5, "rnic.rx_dma", wr.Trace)
+	}
 
 	if wr.Kind == OpWriteImm {
 		// The immediate consumes a posted receive at the target; retry
@@ -287,6 +299,15 @@ func (n *NIC) postRead(at simtime.Time, qp *QP, wr WR) {
 	}
 	t7 := n.rxPipe.Reserve(back, cfg.NICProcess)
 	t8 := n.dma.Reserve(t7, params.TransferTime(wr.Len, cfg.DMABandwidth))
+	if wr.Trace != nil {
+		n.obs.AddSpan(at, t1, "rnic.tx", wr.Trace)
+		n.obs.AddSpan(t1, t3, "fabric.wire", wr.Trace)
+		rn.obs.AddSpan(t3, t4, "rnic.rx", wr.Trace)
+		rn.obs.AddSpan(t4, t5, "rnic.rx_dma", wr.Trace)
+		n.obs.AddSpan(t5, back, "fabric.wire", wr.Trace)
+		n.obs.AddSpan(back, t7, "rnic.rx", wr.Trace)
+		n.obs.AddSpan(t7, t8, "rnic.rx_dma", wr.Trace)
+	}
 	wrCopy := wr
 	n.env().At(t8, func(*simtime.Env) { writeLocal(wrCopy, data) })
 	n.completeSend(t8, qp, wr, StatusOK)

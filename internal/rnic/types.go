@@ -16,6 +16,7 @@ import (
 	"errors"
 
 	"lite/internal/hostmem"
+	"lite/internal/obs"
 	"lite/internal/simtime"
 )
 
@@ -358,4 +359,10 @@ type WR struct {
 	// AtomicResult, if non-nil, receives the 8-byte old value in
 	// addition to it being written to the local buffer.
 	AtomicResult *uint64
+
+	// Trace, if non-nil, is the caller's observability span; the NIC
+	// hangs its pipeline-stage spans off it. Purely in-simulation
+	// metadata: it is never part of the wire image, so tracing cannot
+	// perturb message sizes or timing.
+	Trace *obs.Span
 }

@@ -112,6 +112,13 @@ type Proc struct {
 	daemon bool
 
 	cpu *CPUAccount
+
+	// trace is an opaque slot for observability context (the active
+	// trace span) carried by this process across blocking points.
+	// simtime never interprets it; keeping it per-process rather than
+	// in a shared registry means two processes interleaving at a
+	// blocking point cannot clobber each other's context.
+	trace any
 }
 
 // Env returns the environment this process belongs to.
@@ -119,6 +126,13 @@ func (p *Proc) Env() *Env { return p.env }
 
 // Name returns the process's diagnostic name.
 func (p *Proc) Name() string { return p.name }
+
+// SetTrace installs opaque observability context on the process; it
+// travels with the process across blocking points. Pass nil to clear.
+func (p *Proc) SetTrace(v any) { p.trace = v }
+
+// Trace returns the context installed by SetTrace, or nil.
+func (p *Proc) Trace() any { return p.trace }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.env.now }
