@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke smoke obs-guard
+.PHONY: ci fmt vet build test race bench bench-smoke bench-guard smoke obs-guard
 
-ci: fmt vet build race smoke obs-guard
+ci: fmt vet build race smoke obs-guard bench-guard
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -26,9 +26,17 @@ bench:
 	$(GO) run ./cmd/litebench -all
 
 # bench-smoke regenerates the machine-readable perf feed from a fast
-# experiment subset (trace and breakdown finish in milliseconds).
+# experiment subset (trace, breakdown, and tput finish in under a
+# second of wall time).
 bench-smoke:
-	$(GO) run ./cmd/litebench -metrics -json BENCH_litebench.json trace breakdown
+	$(GO) run ./cmd/litebench -metrics -json BENCH_litebench.json trace breakdown tput
+
+# bench-guard re-runs the experiments recorded in the committed feed
+# and fails if any virtual-time figure drifted: performance changes
+# must be deliberate (and re-recorded with bench-smoke), never
+# accidental.
+bench-guard:
+	$(GO) run ./cmd/litebench -compare BENCH_litebench.json
 
 # smoke: the harness lists its experiments and one runs end to end.
 smoke:

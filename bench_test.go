@@ -44,6 +44,7 @@ func BenchmarkFig18MapReduce(b *testing.B)         { runExperiment(b, "fig18") }
 func BenchmarkFig19PageRank(b *testing.B)          { runExperiment(b, "fig19") }
 func BenchmarkTableCPUFixedRate(b *testing.B)      { runExperiment(b, "tab-cpu") }
 func BenchmarkRPCLatencyBreakdown(b *testing.B)    { runExperiment(b, "breakdown") }
+func BenchmarkTputFastPath(b *testing.B)           { runExperiment(b, "tput") }
 func BenchmarkLogCommitThroughput(b *testing.B)    { runExperiment(b, "log-tput") }
 
 func BenchmarkKVStoreThroughput(b *testing.B)  { runExperiment(b, "kv-tput") }

@@ -28,8 +28,12 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	metrics := flag.Bool("metrics", false, "collect and print observability metrics per experiment")
 	jsonPath := flag.String("json", "", "write a machine-readable report to this file")
+	comparePath := flag.String("compare", "", "re-run the experiments in this report and fail on virtual-time drift")
 	flag.Parse()
 
+	if *comparePath != "" {
+		os.Exit(compareReport(*comparePath))
+	}
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
@@ -82,6 +86,47 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// compareTolerance is the allowed relative drift between a committed
+// virtual-time figure and a fresh run. The simulation is deterministic
+// so matching runs agree exactly; the slack only keeps the guard from
+// flagging a deliberate sub-percent calibration tweak as a regression.
+const compareTolerance = 0.01
+
+// compareReport re-runs every experiment recorded in the committed
+// report and compares the virtual durations — the bench guard that
+// catches accidental performance regressions (or unrecorded
+// improvements) in the simulated timeline. Returns a process exit
+// code.
+func compareReport(path string) int {
+	rep, err := bench.ReadJSON(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-guard: %v\n", err)
+		return 1
+	}
+	code := 0
+	for _, r := range rep.Results {
+		if r.Error != "" {
+			continue
+		}
+		tab, err := bench.Run(r.ID)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-guard: %s: %v\n", r.ID, err)
+			code = 1
+			continue
+		}
+		got := int64(tab.Virtual)
+		drift := float64(got-r.VirtualNs) / float64(r.VirtualNs)
+		if drift < -compareTolerance || drift > compareTolerance {
+			fmt.Fprintf(os.Stderr, "bench-guard: %s: virtual time drifted %+.2f%%: committed %dns, fresh run %dns (re-run 'make bench-smoke' if the change is intentional)\n",
+				r.ID, drift*100, r.VirtualNs, got)
+			code = 1
+			continue
+		}
+		fmt.Printf("bench-guard: %-10s ok (%dns, %+.2f%%)\n", r.ID, got, drift*100)
+	}
+	return code
 }
 
 // printMetrics dumps a snapshot as '%'-prefixed lines, so tooling

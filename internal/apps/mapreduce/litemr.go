@@ -137,6 +137,18 @@ func liteMaster(p *simtime.Proc, cls *cluster.Cluster, dep *lite.Deployment, cfg
 		if len(workers) == 0 {
 			return fmt.Errorf("litemr: no surviving workers: %w", err)
 		}
+		if attempt < maxAttempts-1 {
+			// Pace re-execution: an attempt launched immediately after a
+			// node failure burns its budget before detection converges
+			// and before a restarting node is back, so later attempts
+			// wait exponentially longer — up to one task timeout — for
+			// the cluster to recover.
+			backoff := simtime.Time(cfg.TaskTimeout) / 4 << uint(attempt)
+			if backoff > simtime.Time(cfg.TaskTimeout) {
+				backoff = simtime.Time(cfg.TaskTimeout)
+			}
+			p.Sleep(backoff)
+		}
 	}
 	return fmt.Errorf("litemr: job failed after %d attempts: %w", maxAttempts, lastErr)
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lite/internal/obs"
+	"lite/internal/params"
 )
 
 // JSONHist is a histogram summary in the JSON feed.
@@ -43,10 +44,14 @@ type JSONResult struct {
 	Error     string       `json:"error,omitempty"`
 }
 
-// JSONReport is the top-level BENCH_*.json document.
+// JSONReport is the top-level BENCH_*.json document. Params snapshots
+// the cost model the figures were produced under (durations in
+// nanoseconds), so a recorded virtual-time number can never be read
+// against the wrong calibration.
 type JSONReport struct {
-	Benchmark string       `json:"benchmark"`
-	Results   []JSONResult `json:"results"`
+	Benchmark string         `json:"benchmark"`
+	Params    *params.Config `json:"params,omitempty"`
+	Results   []JSONResult   `json:"results"`
 }
 
 // NewJSONResult converts one experiment outcome into its JSON record.
@@ -88,9 +93,23 @@ func newJSONMetrics(s *obs.Snapshot) *JSONMetrics {
 // WriteJSON writes the report to path, indented so the feed diffs
 // cleanly in review.
 func WriteJSON(path string, results []JSONResult) error {
-	data, err := json.MarshalIndent(JSONReport{Benchmark: "litebench", Results: results}, "", "  ")
+	cfg := params.Default()
+	data, err := json.MarshalIndent(JSONReport{Benchmark: "litebench", Params: &cfg, Results: results}, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadJSON loads a report previously written by WriteJSON.
+func ReadJSON(path string) (*JSONReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
 }

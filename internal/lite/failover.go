@@ -52,6 +52,24 @@ func (i *Instance) crash(p *simtime.Proc) {
 
 	// Stop daemons: the header-update thread exits on channel close;
 	// the poller and system workers observe stopped after a wakeup.
+	// Deferred send-queue slots are returned here — nothing of the
+	// dead incarnation will post again to reap their completions.
+	for _, sigs := range i.qpSig {
+		for _, s := range sigs {
+			for _, rel := range s.pending {
+				rel()
+			}
+			s.pending = nil
+			s.count = 0
+			for _, b := range s.inflight {
+				for _, rel := range b.releases {
+					rel()
+				}
+			}
+			s.inflight = nil
+			s.cond.Broadcast(env)
+		}
+	}
 	i.headUpd.Close(p)
 	i.recvCQ.Broadcast(env)
 	i.sysQueue = nil
@@ -165,7 +183,7 @@ func (i *Instance) restart(p *simtime.Proc) {
 		}
 	}
 
-	i.topUpRecvs()
+	i.topUpRecvs(p)
 	i.spawnDaemons()
 
 	node := i.node.ID

@@ -89,6 +89,21 @@ type Options struct {
 	// retry attempts (doubled per attempt, plus deterministic jitter
 	// derived from the simulation clock, never wall-clock).
 	RetryBackoff simtime.Time
+
+	// DisableInline turns off in-WQE (inline) payload delivery: every
+	// ring post then pays the NIC's payload DMA-read stage regardless
+	// of size. Used by ablation experiments; off (inline on) is the
+	// production configuration.
+	DisableInline bool
+	// DisableDoorbellBatch turns off single-doorbell list posting:
+	// head updates and receive restocks then ring one doorbell per
+	// work request, the pre-fast-path behaviour.
+	DisableDoorbellBatch bool
+	// SignalEvery is the selective-signaling period on the shared QPs:
+	// every Nth post is signaled (and its completion lazily reclaims
+	// the accumulated send-queue slots); the posts in between produce
+	// no CQE at all. Zero selects the default; 1 signals every post.
+	SignalEvery int
 }
 
 // DefaultOptions returns the standard deployment configuration.
@@ -122,13 +137,15 @@ type Instance struct {
 	// Shared queue pairs: qps[remote][k]; nil for the local node.
 	qps      [][]*rnic.QP
 	qpSlots  [][]*simtime.Semaphore // per-QP outstanding-op budget
+	qpSig    [][]*qpSigState        // per-QP selective-signaling state
 	nextQP   []int
 	sendCQ   *rnic.CQ
 	sendDisp *verbs.Dispatcher
 	recvCQ   *rnic.CQ
 
-	scratch scratchRing
-	nextWR  uint64
+	scratch   scratchRing
+	nextWR    uint64
+	framePool [][]byte // recycled ring-frame buffers (postToRing)
 
 	// LMR state (lmr.go).
 	lhs      map[uint64]*lhEntry
@@ -209,6 +226,7 @@ func Start(cls *cluster.Cluster, opts Options) (*Deployment, error) {
 			ctx:      verbs.Open(nd.NIC, nd.KernelAS),
 			qps:      make([][]*rnic.QP, n),
 			qpSlots:  make([][]*simtime.Semaphore, n),
+			qpSig:    make([][]*qpSigState, n),
 			nextQP:   make([]int, n),
 			lhs:      make(map[uint64]*lhEntry),
 			nextLH:   1,
@@ -252,6 +270,8 @@ func Start(cls *cluster.Cluster, opts Options) (*Deployment, error) {
 				b.qps[i] = append(b.qps[i], qb)
 				a.qpSlots[j] = append(a.qpSlots[j], simtime.NewSemaphore(qpDepth))
 				b.qpSlots[i] = append(b.qpSlots[i], simtime.NewSemaphore(qpDepth))
+				a.qpSig[j] = append(a.qpSig[j], &qpSigState{})
+				b.qpSig[i] = append(b.qpSig[i], &qpSigState{})
 			}
 		}
 	}
@@ -272,7 +292,7 @@ func Start(cls *cluster.Cluster, opts Options) (*Deployment, error) {
 	// Per-node daemons: shared poller, IMM-buffer reposter (folded into
 	// the poller), header-update sender, and system RPC workers.
 	for _, inst := range dep.Instances {
-		inst.topUpRecvs()
+		inst.topUpRecvs(nil)
 		inst.spawnDaemons()
 	}
 	// Node-failure plumbing: crash/restart hooks on the cluster, and
@@ -308,9 +328,55 @@ func (i *Instance) spawnDaemons() {
 // makes HW-Sep QP reservation an actual resource partition.
 const qpDepth = 16
 
+// defaultSignalEvery is the selective-signaling period: one signaled
+// send per this many posts on a shared QP. It must stay below qpDepth
+// so a full send queue always has a signaled completion in flight to
+// unblock it.
+const defaultSignalEvery = 4
+
 // systemWorkers is the number of kernel worker threads per node that
 // execute LITE-internal RPC handlers.
 const systemWorkers = 4
+
+// signalEvery returns the effective selective-signaling period,
+// clamped below qpDepth so a full send queue always has a signaled
+// completion in flight to unblock it.
+func (i *Instance) signalEvery() int {
+	se := i.opts.SignalEvery
+	if se <= 0 {
+		se = defaultSignalEvery
+	}
+	if se >= qpDepth {
+		se = qpDepth - 1
+	}
+	return se
+}
+
+// qpSigState is the selective-signaling bookkeeping of one shared QP:
+// how many posts have gone unsignaled since the last signaled one, the
+// send-queue slot releases those posts deferred, and the signaled
+// batches still awaiting their completion. Reclamation is strictly
+// per-QP: posters reap arrived completions on the next post, and a
+// poster facing a full send queue waits on this QP's own oldest
+// signaled completion — never on another QP's, so a destination that
+// is timing out cannot starve traffic to healthy ones.
+type qpSigState struct {
+	count    int
+	pending  []func()
+	inflight []reclaimBatch
+	// reaping marks that some poster is blocked waiting for the oldest
+	// in-flight completion; contenders park on cond instead of
+	// double-waiting on the same work-request id.
+	reaping bool
+	cond    simtime.Cond
+}
+
+// reclaimBatch is one signaled WR's worth of deferred send-queue slot
+// releases, freed when that WR's completion is reaped.
+type reclaimBatch struct {
+	wrid     uint64
+	releases []func()
+}
 
 // Instance accessors.
 
@@ -343,16 +409,15 @@ func (i *Instance) wrID() uint64 {
 }
 
 // pickQP selects a shared QP to the destination honoring the QoS mode,
-// acquires one outstanding-op slot on it, and returns a release func.
-func (i *Instance) pickQP(p *simtime.Proc, dst int, pri Priority) (*rnic.QP, func()) {
-	lo, hi := i.qos.qpRange(pri, len(i.qps[dst]))
-	k := lo + i.nextQP[dst]%(hi-lo)
-	i.nextQP[dst]++
-	qp := i.qps[dst][k]
-	slot := i.qpSlots[dst][k]
-	slot.Acquire(p)
-	env := i.cls.Env
-	return qp, func() { slot.Release(env) }
+// acquires one outstanding-op slot on it, and returns the QP, its
+// index within the destination's QP set, and a release func.
+func (i *Instance) pickQP(p *simtime.Proc, dst int, pri Priority) (*rnic.QP, int, func()) {
+	// Shares acquireShared's reclaim machinery: slots on a shared QP
+	// may be held by lazily-reclaimed batches whose completions already
+	// arrived, and only reaping frees them — a plain Acquire here could
+	// starve one-sided ops behind stale batch slots.
+	qp, k, _, release := i.acquireShared(p, dst, pri)
+	return qp, k, release
 }
 
 // scratchRing is a bump allocator over a contiguous kernel arena used

@@ -134,7 +134,7 @@ func (i *Instance) runParts(p *simtime.Proc, parts []part, buf []byte, kind rnic
 			}
 			continue
 		}
-		qp, release := i.pickQP(p, pt.c.node, pri)
+		qp, _, release := i.pickQP(p, pt.c.node, pri)
 		wrid := i.wrID()
 		p.Work(i.cfg.NICDoorbell)
 		err := i.node.NIC.PostSend(p.Now(), qp, rnic.WR{
@@ -312,7 +312,7 @@ func (i *Instance) rawWrite(p *simtime.Proc, node int, pa hostmem.PAddr, buf []b
 	}
 	i.qos.throttle(p, pri, int64(len(buf)))
 	start := p.Now()
-	qp, release := i.pickQP(p, node, pri)
+	qp, _, release := i.pickQP(p, node, pri)
 	defer release()
 	wrid := i.wrID()
 	p.Work(i.cfg.NICDoorbell)
@@ -339,7 +339,7 @@ func (i *Instance) rawRead(p *simtime.Proc, node int, pa hostmem.PAddr, buf []by
 	}
 	i.qos.throttle(p, pri, int64(len(buf)))
 	start := p.Now()
-	qp, release := i.pickQP(p, node, pri)
+	qp, _, release := i.pickQP(p, node, pri)
 	defer release()
 	wrid := i.wrID()
 	p.Work(i.cfg.NICDoorbell)

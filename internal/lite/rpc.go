@@ -282,9 +282,140 @@ func (i *Instance) reserveRing(p *simtime.Proc, b *binding, need int64, probe bo
 	}
 }
 
+// ---- small-message fast path ----
+
+// maxPooledFrames bounds the per-instance frame free list; frames
+// beyond the cap (or oversized ones) fall back to the GC.
+const maxPooledFrames = 64
+
+// maxFrameBytes is the largest frame the pool keeps; jumbo LT_send
+// payloads are not worth retaining.
+const maxFrameBytes = 64 << 10
+
+// getFrame returns a framing buffer of exactly n bytes, reusing a
+// pooled one when possible so the posting hot path stops allocating
+// per message (the NIC snapshots the payload synchronously at post
+// time, which is what makes recycling safe).
+func (i *Instance) getFrame(n int64) []byte {
+	if k := len(i.framePool); k > 0 {
+		buf := i.framePool[k-1]
+		i.framePool = i.framePool[:k-1]
+		if int64(cap(buf)) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// putFrame recycles a framing buffer.
+func (i *Instance) putFrame(buf []byte) {
+	if cap(buf) > maxFrameBytes || len(i.framePool) >= maxPooledFrames {
+		return
+	}
+	i.framePool = append(i.framePool, buf)
+}
+
+// wantInline reports whether an n-byte payload should ride inline in
+// the WQE (skipping the NIC's payload DMA read).
+func (i *Instance) wantInline(n int64) bool {
+	return !i.opts.DisableInline && n <= int64(i.cfg.MaxInline)
+}
+
+// reapQP frees the send-queue slots of every in-flight signaled batch
+// whose completion has already arrived, oldest first, without
+// blocking. Stops at the first batch still outstanding.
+func (i *Instance) reapQP(p *simtime.Proc, sig *qpSigState) {
+	for len(sig.inflight) > 0 {
+		b := sig.inflight[0]
+		if _, ok := i.sendDisp.TryClaim(p, b.wrid); !ok {
+			return
+		}
+		sig.inflight = sig.inflight[1:]
+		for _, rel := range b.releases {
+			rel()
+		}
+	}
+}
+
+// acquireShared selects a shared QP to dst (round-robin within the
+// QoS range) and takes one send-queue slot on it, reaping this QP's
+// arrived completions first. When the queue is full the caller waits
+// on this QP's own oldest signaled completion — never another QP's —
+// so a destination that is timing out cannot starve posts to healthy
+// ones. Exactly one waiter reaps at a time; contenders park on the
+// QP's cond.
+func (i *Instance) acquireShared(p *simtime.Proc, dst int, pri Priority) (*rnic.QP, int, *qpSigState, func()) {
+	lo, hi := i.qos.qpRange(pri, len(i.qps[dst]))
+	k := lo + i.nextQP[dst]%(hi-lo)
+	i.nextQP[dst]++
+	qp := i.qps[dst][k]
+	slot := i.qpSlots[dst][k]
+	sig := i.qpSig[dst][k]
+	env := i.cls.Env
+	for {
+		i.reapQP(p, sig)
+		if slot.TryAcquire(p) {
+			return qp, k, sig, func() { slot.Release(env) }
+		}
+		if sig.reaping {
+			sig.cond.Wait(p)
+			continue
+		}
+		if len(sig.inflight) == 0 {
+			// The held slots belong to individually signaled ops that
+			// release on their own completion; just wait for a permit.
+			slot.Acquire(p)
+			return qp, k, sig, func() { slot.Release(env) }
+		}
+		sig.reaping = true
+		b := sig.inflight[0]
+		sig.inflight = sig.inflight[1:]
+		i.sendDisp.WaitQuiet(p, b.wrid)
+		for _, rel := range b.releases {
+			rel()
+		}
+		sig.reaping = false
+		sig.cond.Broadcast(env)
+	}
+}
+
+// postShared posts a chain of work requests to dst over one shared QP
+// behind a single doorbell, applying selective completion signaling:
+// posts are normally unsignaled (no CQE), their send-queue slots held
+// until every signalEvery-th post, whose last WR is signaled; the
+// accumulated slot releases are then filed under that completion and
+// freed when a later poster reaps it — lazy WQE reclaim, bounded by
+// qpDepth: a sender is never more than one signaled completion away
+// from free slots.
+func (i *Instance) postShared(p *simtime.Proc, dst int, pri Priority, wrs []rnic.WR) error {
+	qp, _, sig, release := i.acquireShared(p, dst, pri)
+	signaled := sig.count+len(wrs) >= i.signalEvery()
+	if signaled {
+		last := &wrs[len(wrs)-1]
+		last.Signaled = true
+		last.WRID = i.wrID()
+	}
+	err := i.ctx.PostSendList(p, qp, wrs)
+	if err != nil {
+		release()
+		return err
+	}
+	sig.count += len(wrs)
+	sig.pending = append(sig.pending, release)
+	if !signaled {
+		return nil
+	}
+	sig.inflight = append(sig.inflight, reclaimBatch{wrid: wrs[len(wrs)-1].WRID, releases: sig.pending})
+	sig.pending = nil
+	sig.count = 0
+	return nil
+}
+
 // postToRing writes a framed message into the binding's ring at the
 // server with one unsignaled write-imm (§5.1: the sending state is
-// never polled; reply or timeout detects failure).
+// never polled; reply or timeout detects failure). Frames that fit
+// Params.MaxInline travel inline in the WQE and skip the payload DMA
+// stage.
 func (i *Instance) postToRing(p *simtime.Proc, b *binding, fn int, token uint32, replyPA hostmem.PAddr, input []byte, pri Priority, probe bool) error {
 	need := int64(ringHdr + len(input))
 	aligned := (need + ringAlign - 1) &^ (ringAlign - 1)
@@ -293,7 +424,7 @@ func (i *Instance) postToRing(p *simtime.Proc, b *binding, fn int, token uint32,
 		return err
 	}
 
-	msg := make([]byte, need)
+	msg := i.getFrame(need)
 	binary.LittleEndian.PutUint32(msg[0:], uint32(need))
 	binary.LittleEndian.PutUint32(msg[4:], token)
 	binary.LittleEndian.PutUint64(msg[8:], uint64(replyPA))
@@ -301,20 +432,21 @@ func (i *Instance) postToRing(p *simtime.Proc, b *binding, fn int, token uint32,
 	copy(msg[ringHdr:], input)
 
 	i.qos.throttle(p, pri, need)
-	qp, release := i.pickQP(p, b.dst, pri)
-	p.Work(i.cfg.NICDoorbell)
-	err = i.node.NIC.PostSend(p.Now(), qp, rnic.WR{
+	err = i.postShared(p, b.dst, pri, []rnic.WR{{
 		Kind:      rnic.OpWriteImm,
 		WRID:      i.wrID(),
 		Signaled:  false,
+		Inline:    i.wantInline(need),
 		LocalBuf:  msg,
 		Len:       need,
 		RemoteKey: i.dep.Instances[b.dst].globalMR.Key(),
 		RemoteOff: int64(b.ringPA) + off,
 		Imm:       encodeImm(tagRPCReq, fn, off),
 		Trace:     procSpan(p),
-	})
-	release()
+	}})
+	// The NIC snapshotted the payload synchronously inside the post, so
+	// the frame can be recycled immediately.
+	i.putFrame(msg)
 	return err
 }
 
@@ -480,20 +612,18 @@ func (i *Instance) replyRPCInternal(p *simtime.Proc, c *Call, output []byte, pri
 	}
 	post := reg.StartSpan(p.Now(), "lite.rpc.post", parent)
 	i.qos.throttle(p, pri, int64(len(output)))
-	qp, release := i.pickQP(p, c.Src, pri)
-	p.Work(i.cfg.NICDoorbell)
-	err := i.node.NIC.PostSend(p.Now(), qp, rnic.WR{
+	err := i.postShared(p, c.Src, pri, []rnic.WR{{
 		Kind:      rnic.OpWriteImm,
 		WRID:      i.wrID(),
 		Signaled:  false,
+		Inline:    i.wantInline(int64(len(output))),
 		LocalBuf:  output,
 		Len:       int64(len(output)),
 		RemoteKey: i.dep.Instances[c.Src].globalMR.Key(),
 		RemoteOff: int64(c.replyPA),
 		Imm:       encodeReplyImm(c.token),
 		Trace:     parent,
-	})
-	release()
+	}})
 	post.Done(p.Now())
 	return err
 }
@@ -551,17 +681,36 @@ func (i *Instance) tryRecvInternal(p *simtime.Proc) (Message, bool) {
 // the shared polling thread.
 const pollerHandleCost = 120 * time.Nanosecond
 
+// pollerBatchCost is the amortized cost of each additional CQE drained
+// in the same sweep: the poll descriptor and cache lines are hot, so
+// coalesced completions demultiplex cheaper than the first one.
+const pollerBatchCost = 40 * time.Nanosecond
+
 // pollerLoop is the per-node shared polling thread: it busy-polls the
 // single shared receive CQ for all RPC clients and functions, parses
 // the IMM metadata, and routes work — one thread per node, shared by
 // every application (§5.1, §6.1). It uses the same adaptive model as
 // user threads so an idle node does not burn a core forever.
+// Completions that accumulated while it worked are drained in one
+// sweep at the amortized batch cost — the consumer half of CQ
+// moderation (the producer half is selective signaling: unsignaled
+// WRs never generate a CQE at all).
 func (i *Instance) pollerLoop(p *simtime.Proc) {
 	for !i.stopped {
 		if cqe, ok := i.recvCQ.TryPoll(); ok {
 			p.Work(pollerHandleCost)
 			i.PollerCPU += pollerHandleCost
 			i.handleRecvCQE(p, cqe)
+			for !i.stopped {
+				cqe, ok := i.recvCQ.TryPoll()
+				if !ok {
+					break
+				}
+				p.Work(pollerBatchCost)
+				i.PollerCPU += pollerBatchCost
+				i.obsReg().Add("lite.poller.coalesced", 1)
+				i.handleRecvCQE(p, cqe)
+			}
 			continue
 		}
 		// Busy window.
@@ -583,7 +732,7 @@ func (i *Instance) pollerLoop(p *simtime.Proc) {
 }
 
 func (i *Instance) handleRecvCQE(p *simtime.Proc, cqe rnic.CQE) {
-	i.topUpRecvs()
+	i.topUpRecvs(p)
 	if !cqe.HasImm {
 		return
 	}
@@ -675,43 +824,98 @@ func (i *Instance) queueHeadUpdate(p *simtime.Proc, client, fn int, delta int64)
 	}
 }
 
+// headUpdBatchMax bounds how many queued head updates the background
+// thread drains into one doorbell-batched burst.
+const headUpdBatchMax = 16
+
+// headUpdateWR builds the zero-length write-imm carrying one ring
+// credit (only the IMM matters; zero bytes always fit inline).
+func (i *Instance) headUpdateWR(u headUpdate) rnic.WR {
+	return rnic.WR{
+		Kind:      rnic.OpWriteImm,
+		WRID:      i.wrID(),
+		Signaled:  false,
+		Inline:    i.wantInline(0),
+		Len:       0,
+		RemoteKey: i.dep.Instances[u.client].globalMR.Key(),
+		RemoteOff: 0,
+		Imm:       encodeImm(tagHeadUpd, u.fn, u.delta),
+	}
+}
+
 // headUpdateLoop is the background thread that returns ring head
-// pointers to clients with small unsignaled write-imms.
+// pointers to clients with small unsignaled write-imms. Updates that
+// queued up while it worked are drained together and posted as
+// per-client WR chains behind a single doorbell each, instead of one
+// doorbell per credit.
 func (i *Instance) headUpdateLoop(p *simtime.Proc) {
 	for {
 		u, ok := i.headUpd.Recv(p)
 		if !ok {
 			return
 		}
-		qp, release := i.pickQP(p, u.client, PriHigh)
-		p.Work(i.cfg.NICDoorbell)
-		_ = i.node.NIC.PostSend(p.Now(), qp, rnic.WR{
-			Kind:     rnic.OpWriteImm,
-			WRID:     i.wrID(),
-			Signaled: false,
-			Len:      0,
-			// Zero-length: only the IMM matters.
-			RemoteKey: i.dep.Instances[u.client].globalMR.Key(),
-			RemoteOff: 0,
-			Imm:       encodeImm(tagHeadUpd, u.fn, u.delta),
-		})
-		release()
+		batch := []headUpdate{u}
+		if !i.opts.DisableDoorbellBatch {
+			for len(batch) < headUpdBatchMax {
+				v, ok := i.headUpd.TryRecv(p)
+				if !ok {
+					break
+				}
+				batch = append(batch, v)
+			}
+		}
+		// Group into per-client chains, preserving arrival order (order
+		// matters: credits for one binding must land in sequence).
+		for len(batch) > 0 {
+			client := batch[0].client
+			wrs := []rnic.WR{i.headUpdateWR(batch[0])}
+			rest := batch[:0]
+			for _, v := range batch[1:] {
+				if v.client == client {
+					wrs = append(wrs, i.headUpdateWR(v))
+				} else {
+					rest = append(rest, v)
+				}
+			}
+			batch = rest
+			_ = i.postShared(p, client, PriHigh, wrs)
+		}
 	}
 }
 
 // topUpRecvs keeps the pool of zero-byte IMM receive buffers posted on
 // the shared QPs stocked ("LITE periodically posts IMM buffers in the
 // receive queue in the background", §5.1). Each QP is tracked
-// individually: one hot QP must never run dry behind a global count.
-func (i *Instance) topUpRecvs() {
+// individually against a low-water mark of half the batch: one hot QP
+// must never run dry behind a global count. A restock posts the whole
+// refill list behind one doorbell (charged to p when the caller runs
+// in process context; the boot-time call passes nil) and is counted in
+// the lite.recv_restock counters so restock storms show up in
+// -metrics output.
+func (i *Instance) topUpRecvs(p *simtime.Proc) {
+	low := i.opts.RecvBatch / 2
 	for _, qs := range i.qps {
 		for _, qp := range qs {
-			if qp.RecvPosted() >= i.opts.RecvBatch/2 {
+			if qp.RecvPosted() >= low {
 				continue
 			}
-			for qp.RecvPosted() < i.opts.RecvBatch {
-				_ = qp.PostRecv(rnic.PostedRecv{MR: i.globalMR, Off: 0, Len: 0})
+			n := i.opts.RecvBatch - qp.RecvPosted()
+			rs := make([]rnic.PostedRecv, n)
+			for k := range rs {
+				rs[k] = rnic.PostedRecv{MR: i.globalMR, Off: 0, Len: 0}
 			}
+			if p == nil {
+				_ = qp.PostRecvList(rs)
+			} else if i.opts.DisableDoorbellBatch {
+				for _, r := range rs {
+					_ = i.ctx.PostRecv(p, qp, r)
+				}
+			} else {
+				_ = i.ctx.PostRecvList(p, qp, rs)
+			}
+			reg := i.obsReg()
+			reg.Add("lite.recv_restock", 1)
+			reg.Add("lite.recv_restock.posted", int64(n))
 		}
 	}
 }

@@ -50,7 +50,7 @@ func (i *Instance) rawCmpSwap(p *simtime.Proc, node int, pa hostmem.PAddr, cmp, 
 }
 
 func (i *Instance) remoteAtomic(p *simtime.Proc, node int, pa hostmem.PAddr, wr rnic.WR, pri Priority) (uint64, error) {
-	qp, release := i.pickQP(p, node, pri)
+	qp, _, release := i.pickQP(p, node, pri)
 	defer release()
 	var result uint64
 	var buf [8]byte

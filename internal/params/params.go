@@ -32,6 +32,20 @@ type Config struct {
 	// NICDoorbell is the PIO cost of ringing the NIC doorbell from the
 	// host CPU (charged to the posting thread).
 	NICDoorbell time.Duration
+	// MaxInline is the largest payload (bytes) that can ride inside the
+	// WQE itself. Inline sends are PIO-copied by the posting CPU
+	// (charged at InlineBandwidth) and skip the NIC's payload DMA read
+	// entirely — the HERD/FaSST-style small-message fast path.
+	MaxInline int
+	// InlineBandwidth is the effective host bandwidth of write-combined
+	// PIO stores when building an inline WQE, in bytes/s (charged to
+	// the posting thread, per byte of inline payload).
+	InlineBandwidth float64
+	// NICInlineProcess is the per-WQE NIC processing time for inline
+	// WQEs. It is lower than NICProcess because the doorbell write
+	// carries the whole WQE (BlueFlame-style), so the NIC skips its
+	// DMA fetch of the WQE and gather list from the host send queue.
+	NICInlineProcess time.Duration
 	// DMABandwidth is the NIC<->host DMA engine bandwidth in bytes/s.
 	DMABandwidth float64
 	// MRKeyCacheEntries is the number of memory-region protection keys
@@ -131,6 +145,9 @@ func Default() Config {
 
 		NICProcess:        180 * time.Nanosecond,
 		NICDoorbell:       100 * time.Nanosecond,
+		MaxInline:         256,
+		InlineBandwidth:   8e9,
+		NICInlineProcess:  100 * time.Nanosecond,
 		DMABandwidth:      9e9,
 		MRKeyCacheEntries: 128,
 		MRKeyMissBase:     900 * time.Nanosecond,

@@ -1,0 +1,45 @@
+package rnic
+
+import (
+	"testing"
+
+	"lite/internal/simtime"
+)
+
+// benchmarkPostSend measures the host-side (wall-clock) allocation
+// cost of posting one signaled write and reaping its CQE. Inline posts
+// copy the payload into the WQE snapshot at post time; the point of
+// the benchmark is that neither path allocates per-operation beyond
+// that snapshot. Run with:
+//
+//	go test -bench=PostSend -benchmem ./internal/rnic/
+func benchmarkPostSend(b *testing.B, inline bool) {
+	c := newCluster(b, 2)
+	src := c.physMR(b, 0, 4096, allPerm)
+	dst := c.physMR(b, 1, 4096, allPerm)
+	qa, _ := c.rcPair(0, 1)
+	c.env.Go("poster", func(p *simtime.Proc) {
+		wr := WR{
+			Kind: OpWrite, Signaled: true, Inline: inline,
+			LocalMR: src, Len: 64, RemoteKey: dst.Key(),
+		}
+		// Warm SRAM caches, then measure steady state.
+		_ = c.nic[0].PostSend(p.Now(), qa, wr)
+		qa.SendCQ().Poll(p)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			wr.WRID = uint64(i + 1)
+			if err := c.nic[0].PostSend(p.Now(), qa, wr); err != nil {
+				b.Fatal(err)
+			}
+			qa.SendCQ().Poll(p)
+		}
+	})
+	if err := c.env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPostSendInline(b *testing.B) { benchmarkPostSend(b, true) }
+func BenchmarkPostSendDMA(b *testing.B)    { benchmarkPostSend(b, false) }

@@ -16,7 +16,37 @@ func (n *NIC) PostSend(at simtime.Time, qp *QP, wr WR) error {
 	if err := n.validate(qp, &wr); err != nil {
 		return err
 	}
+	n.dispatch(at, qp, wr)
+	return nil
+}
+
+// PostSendList posts a linked chain of work requests handed to the NIC
+// in one doorbell ring at time at (the caller charges a single
+// NICDoorbell for the whole chain). Each WQE still pays its own
+// processing time in the transmit pipeline; the chain is validated in
+// full before any request is posted, so a malformed entry posts
+// nothing.
+func (n *NIC) PostSendList(at simtime.Time, qp *QP, wrs []WR) error {
+	if len(wrs) == 0 {
+		return ErrEmptyList
+	}
+	for k := range wrs {
+		if err := n.validate(qp, &wrs[k]); err != nil {
+			return err
+		}
+	}
+	for k := range wrs {
+		n.dispatch(at, qp, wrs[k])
+	}
+	return nil
+}
+
+// dispatch routes one validated work request into the NIC pipelines.
+func (n *NIC) dispatch(at simtime.Time, qp *QP, wr WR) {
 	n.OpsPosted++
+	if wr.Inline {
+		n.obs.Add("rnic.inline_wqes", 1)
+	}
 	switch wr.Kind {
 	case OpWrite, OpWriteImm:
 		n.postWrite(at, qp, wr)
@@ -30,10 +60,7 @@ func (n *NIC) PostSend(at simtime.Time, qp *QP, wr WR) error {
 		}
 	case OpFetchAdd, OpCmpSwap:
 		n.postAtomic(at, qp, wr)
-	default:
-		return ErrBadQPState
 	}
-	return nil
 }
 
 func (n *NIC) validate(qp *QP, wr *WR) error {
@@ -44,9 +71,22 @@ func (n *NIC) validate(qp *QP, wr *WR) error {
 		return ErrUDOneSided
 	}
 	switch wr.Kind {
+	case OpWrite, OpWriteImm, OpRead, OpSend:
 	case OpFetchAdd, OpCmpSwap:
 		if wr.Len != 8 {
 			return ErrAtomicSize
+		}
+	default:
+		return ErrBadQPState
+	}
+	if wr.Inline {
+		switch wr.Kind {
+		case OpWrite, OpWriteImm, OpSend:
+		default:
+			return ErrInlineKind
+		}
+		if wr.Len > int64(n.cfg().MaxInline) {
+			return ErrInlineSize
 		}
 	}
 	if wr.LocalBuf != nil {
@@ -69,13 +109,33 @@ func (n *NIC) validate(qp *QP, wr *WR) error {
 }
 
 // localCost returns the NIC-side cost of addressing the gather/scatter
-// buffer of a work request: zero for raw physical buffers (LITE path),
-// key+PTE costs for registered regions.
+// buffer of a work request: zero for raw physical buffers (LITE path)
+// and for inline WQEs (the payload arrived with the doorbell, so the
+// NIC never touches the host buffer), key+PTE costs for registered
+// regions.
 func (n *NIC) localCost(wr WR) simtime.Time {
-	if wr.LocalBuf != nil || wr.LocalMR == nil || wr.Len == 0 {
+	if wr.Inline || wr.LocalBuf != nil || wr.LocalMR == nil || wr.Len == 0 {
 		return 0
 	}
 	return n.mrAccessCost(wr.LocalMR, wr.LocalOff, wr.Len)
+}
+
+// txSchedule books the transmit-side pipeline stages of an outbound
+// request: WQE processing in the tx pipe, then the payload DMA read.
+// Inline WQEs process faster (no WQE fetch from the host send queue)
+// and skip the DMA stage entirely, so t1 == t2 and no tx_dma span is
+// ever recorded for them.
+func (n *NIC) txSchedule(at simtime.Time, qp *QP, wr WR) (t1, t2 simtime.Time) {
+	cfg := n.cfg()
+	proc := cfg.NICProcess
+	if wr.Inline {
+		proc = cfg.NICInlineProcess
+	}
+	t1 = n.txPipe.Reserve(at, proc+n.qpCost(qp.qpn)+n.localCost(wr))
+	if wr.Inline {
+		return t1, t1
+	}
+	return t1, n.dma.Reserve(t1, params.TransferTime(wr.Len, cfg.DMABandwidth))
 }
 
 // writeLocal scatters result bytes into the request's local buffer.
@@ -140,8 +200,7 @@ func snapshot(wr WR) []byte {
 // postWrite implements one-sided RDMA write and write-with-immediate.
 func (n *NIC) postWrite(at simtime.Time, qp *QP, wr WR) {
 	cfg := n.cfg()
-	t1 := n.txPipe.Reserve(at, cfg.NICProcess+n.qpCost(qp.qpn)+n.localCost(wr))
-	t2 := n.dma.Reserve(t1, params.TransferTime(wr.Len, cfg.DMABandwidth))
+	t1, t2 := n.txSchedule(at, qp, wr)
 	payload := snapshot(wr)
 
 	dst := qp.remoteNode
@@ -178,7 +237,9 @@ func (n *NIC) postWrite(at simtime.Time, qp *QP, wr WR) {
 	// wire, so tracing cannot change message sizes or timing).
 	if wr.Trace != nil {
 		n.obs.AddSpan(at, t1, "rnic.tx", wr.Trace)
-		n.obs.AddSpan(t1, t2, "rnic.tx_dma", wr.Trace)
+		if !wr.Inline {
+			n.obs.AddSpan(t1, t2, "rnic.tx_dma", wr.Trace)
+		}
 		n.obs.AddSpan(t2, t3, "fabric.wire", wr.Trace)
 		rn.obs.AddSpan(t3, t4, "rnic.rx", wr.Trace)
 		rn.obs.AddSpan(t4, t5, "rnic.rx_dma", wr.Trace)
@@ -316,8 +377,7 @@ func (n *NIC) postRead(at simtime.Time, qp *QP, wr WR) {
 // postSendRC implements two-sided send on a reliable connection.
 func (n *NIC) postSendRC(at simtime.Time, qp *QP, wr WR) {
 	cfg := n.cfg()
-	t1 := n.txPipe.Reserve(at, cfg.NICProcess+n.qpCost(qp.qpn)+n.localCost(wr))
-	t2 := n.dma.Reserve(t1, params.TransferTime(wr.Len, cfg.DMABandwidth))
+	_, t2 := n.txSchedule(at, qp, wr)
 	payload := snapshot(wr)
 
 	dst := qp.remoteNode
@@ -382,8 +442,7 @@ func (n *NIC) deliverSend(t simtime.Time, rn *NIC, rqp *QP, qp *QP, wr WR, paylo
 // dropped silently if the destination has no posted receive.
 func (n *NIC) postSendUD(at simtime.Time, qp *QP, wr WR) {
 	cfg := n.cfg()
-	t1 := n.txPipe.Reserve(at, cfg.NICProcess+n.qpCost(qp.qpn)+n.localCost(wr))
-	t2 := n.dma.Reserve(t1, params.TransferTime(wr.Len, cfg.DMABandwidth))
+	_, t2 := n.txSchedule(at, qp, wr)
 	payload := snapshot(wr)
 
 	// UD completes locally as soon as the datagram leaves the NIC.

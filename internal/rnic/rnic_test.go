@@ -20,7 +20,7 @@ type testCluster struct {
 	as  []*hostmem.AddressSpace
 }
 
-func newCluster(t *testing.T, n int) *testCluster {
+func newCluster(t testing.TB, n int) *testCluster {
 	t.Helper()
 	c := &testCluster{env: simtime.NewEnv(), cfg: params.Default()}
 	c.reg = NewRegistry(c.env, &c.cfg, fabric.New(&c.cfg))
@@ -37,7 +37,7 @@ func newCluster(t *testing.T, n int) *testCluster {
 }
 
 // physMR allocates contiguous physical memory and registers it.
-func (c *testCluster) physMR(t *testing.T, node int, size int64, perm Perm) *MR {
+func (c *testCluster) physMR(t testing.TB, node int, size int64, perm Perm) *MR {
 	t.Helper()
 	pa, err := c.nic[node].Mem().AllocContiguous(size)
 	if err != nil {
@@ -58,7 +58,7 @@ func (c *testCluster) rcPair(a, b int) (*QP, *QP) {
 	return qa, qb
 }
 
-func (c *testCluster) run(t *testing.T) {
+func (c *testCluster) run(t testing.TB) {
 	t.Helper()
 	if err := c.env.Run(); err != nil {
 		t.Fatal(err)

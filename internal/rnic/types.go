@@ -92,6 +92,9 @@ var (
 	ErrBounds     = errors.New("rnic: access outside memory region")
 	ErrUDOneSided = errors.New("rnic: one-sided and atomic verbs unsupported on UD")
 	ErrAtomicSize = errors.New("rnic: atomics operate on exactly 8 bytes")
+	ErrInlineSize = errors.New("rnic: inline payload exceeds MaxInline")
+	ErrInlineKind = errors.New("rnic: only writes and sends may be inline")
+	ErrEmptyList  = errors.New("rnic: empty work-request list")
 )
 
 // Perm is an MR permission bitmask.
@@ -305,6 +308,26 @@ func (q *QP) PostRecv(r PostedRecv) error {
 	return nil
 }
 
+// PostRecvList posts a batch of receive buffers behind one doorbell.
+// The whole list is validated before any buffer is enqueued, so a bad
+// entry leaves the receive queue untouched.
+func (q *QP) PostRecvList(rs []PostedRecv) error {
+	if len(rs) == 0 {
+		return ErrEmptyList
+	}
+	for k := range rs {
+		r := &rs[k]
+		if r.MR == nil || r.MR.node != q.nic.node {
+			return ErrBadMR
+		}
+		if err := r.MR.checkRange(r.Off, r.Len); err != nil {
+			return err
+		}
+	}
+	q.rq = append(q.rq, rs...)
+	return nil
+}
+
 // RecvPosted returns the number of posted receive buffers.
 func (q *QP) RecvPosted() int { return len(q.rq) }
 
@@ -326,6 +349,14 @@ type WR struct {
 	Kind     OpKind
 	WRID     uint64
 	Signaled bool
+
+	// Inline requests that the payload travel inside the WQE itself:
+	// the posting CPU PIO-copies it at the doorbell (the verbs layer
+	// charges that copy), so the NIC skips both its WQE fetch and the
+	// payload DMA read — the tx_dma pipeline stage disappears. Only
+	// writes and sends of at most Params.MaxInline bytes qualify. The
+	// buffer is free for reuse as soon as the post returns.
+	Inline bool
 
 	// Local buffer (gather source for writes/sends, scatter target for
 	// reads and atomic results).

@@ -72,16 +72,47 @@ func (c *Context) CreateQP(typ rnic.QPType, sendCQ, recvCQ *rnic.CQ) *rnic.QP {
 	return c.nic.CreateQP(typ, sendCQ, recvCQ)
 }
 
-// PostSend charges the doorbell and hands the work request to the NIC.
+// inlineCopyCost returns the host PIO time of building an inline WQE:
+// the posting CPU write-combines the payload into the doorbell window,
+// paid per byte at InlineBandwidth. Zero for non-inline requests.
+func (c *Context) inlineCopyCost(wr *rnic.WR) simtime.Time {
+	if !wr.Inline {
+		return 0
+	}
+	return params.TransferTime(wr.Len, c.cfg.InlineBandwidth)
+}
+
+// PostSend charges the doorbell (plus the PIO copy for inline WQEs)
+// and hands the work request to the NIC.
 func (c *Context) PostSend(p *simtime.Proc, qp *rnic.QP, wr rnic.WR) error {
-	p.Work(c.cfg.NICDoorbell)
+	p.Work(c.cfg.NICDoorbell + c.inlineCopyCost(&wr))
 	return c.nic.PostSend(p.Now(), qp, wr)
+}
+
+// PostSendList charges a single doorbell for a whole chain of work
+// requests (plus the PIO copies of any inline payloads) and hands the
+// chain to the NIC. This is the batched posting path: N requests cost
+// one MMIO ring instead of N.
+func (c *Context) PostSendList(p *simtime.Proc, qp *rnic.QP, wrs []rnic.WR) error {
+	cost := c.cfg.NICDoorbell
+	for k := range wrs {
+		cost += c.inlineCopyCost(&wrs[k])
+	}
+	p.Work(cost)
+	return c.nic.PostSendList(p.Now(), qp, wrs)
 }
 
 // PostRecv charges the doorbell and posts a receive buffer.
 func (c *Context) PostRecv(p *simtime.Proc, qp *rnic.QP, r rnic.PostedRecv) error {
 	p.Work(c.cfg.NICDoorbell)
 	return qp.PostRecv(r)
+}
+
+// PostRecvList charges a single doorbell and posts a batch of receive
+// buffers.
+func (c *Context) PostRecvList(p *simtime.Proc, qp *rnic.QP, rs []rnic.PostedRecv) error {
+	p.Work(c.cfg.NICDoorbell)
+	return qp.PostRecvList(rs)
 }
 
 // PollCQ busy-polls the CQ until a completion arrives, charging the
@@ -144,6 +175,25 @@ func (d *Dispatcher) Wait(p *simtime.Proc, wrid uint64) rnic.CQE {
 		d.cq.Wait(p)
 		p.CPUAccount().Charge(p.Now() - t0)
 	}
+}
+
+// TryClaim drains any ready completions into the stash without
+// blocking and claims the one with the given work-request id if it
+// has arrived.
+func (d *Dispatcher) TryClaim(p *simtime.Proc, wrid uint64) (rnic.CQE, bool) {
+	for {
+		cqe, ok := d.cq.TryPoll()
+		if !ok {
+			break
+		}
+		d.stash[cqe.WRID] = cqe
+		d.cq.Broadcast(p.Env())
+	}
+	if cqe, ok := d.stash[wrid]; ok {
+		delete(d.stash, wrid)
+		return cqe, true
+	}
+	return rnic.CQE{}, false
 }
 
 // WaitQuiet is Wait without CPU charging, for callers modeling
