@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke bench-guard smoke obs-guard
+.PHONY: ci fmt vet build test race lint bench bench-smoke bench-guard smoke obs-guard
 
-ci: fmt vet build race smoke obs-guard bench-guard
+ci: fmt vet lint build race smoke obs-guard bench-guard
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -22,14 +22,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+# lint: simulation code must not read the host clock or the global
+# math/rand stream — either breaks bit-for-bit reproducibility.
+lint:
+	$(GO) run ./cmd/simlint internal
+
 bench:
 	$(GO) run ./cmd/litebench -all
 
 # bench-smoke regenerates the machine-readable perf feed from a fast
-# experiment subset (trace, breakdown, and tput finish in under a
-# second of wall time).
+# experiment subset (each experiment finishes in under a second of
+# wall time).
 bench-smoke:
-	$(GO) run ./cmd/litebench -metrics -json BENCH_litebench.json trace breakdown tput
+	$(GO) run ./cmd/litebench -metrics -json BENCH_litebench.json trace breakdown tput tail saturate
 
 # bench-guard re-runs the experiments recorded in the committed feed
 # and fails if any virtual-time figure drifted: performance changes

@@ -1,0 +1,136 @@
+// Command simlint enforces the repository's determinism discipline:
+// simulation code must never consult the host clock or the global
+// math/rand stream, because a single wall-clock read or unseeded
+// random draw makes runs irreproducible and breaks the bench-guard's
+// bit-for-bit comparisons. Virtual time comes from simtime, randomness
+// from detrand.
+//
+// It walks the Go files under the given root (default "internal"),
+// skipping _test.go files and testdata directories, and fails on:
+//
+//   - imports of math/rand or math/rand/v2
+//   - calls through the time package to Now or Since (time.Duration
+//     constants remain fine — they are values, not clock reads)
+//
+// Import renames are honoured: `import t "time"` followed by t.Now()
+// is still flagged, and a local variable named "time" shadowing the
+// package is not.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// finding is one rule violation at a position.
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+func main() {
+	root := "internal"
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var findings []finding
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			if info.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fs, errs := lintFile(path)
+		findings = append(findings, fs...)
+		return errs
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: %s\n", f.pos, f.msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s) under %s\n", len(findings), root)
+		os.Exit(1)
+	}
+}
+
+// bannedSelectors are the wall-clock reads a simulation must not make.
+var bannedSelectors = map[string]string{
+	"Now":   "use the Proc's virtual clock (p.Now()) instead of the host clock",
+	"Since": "use virtual-time subtraction instead of the host clock",
+}
+
+func lintFile(path string) ([]finding, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	var findings []finding
+
+	// timeNames collects the local names the "time" package is
+	// imported under in this file ("time" itself, or a rename).
+	timeNames := map[string]bool{}
+	for _, imp := range file.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		switch p {
+		case "math/rand", "math/rand/v2":
+			findings = append(findings, finding{
+				pos: fset.Position(imp.Pos()),
+				msg: fmt.Sprintf("import of %s: use lite/internal/detrand for seeded, replayable randomness", p),
+			})
+		case "time":
+			name := "time"
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			if name != "_" && name != "." {
+				timeNames[name] = true
+			}
+		}
+	}
+	if len(timeNames) > 0 {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !timeNames[id.Name] {
+				return true
+			}
+			// A non-nil Obj means the identifier resolves to a local
+			// declaration shadowing the import, not the package.
+			if id.Obj != nil {
+				return true
+			}
+			if why, banned := bannedSelectors[sel.Sel.Name]; banned {
+				findings = append(findings, finding{
+					pos: fset.Position(sel.Pos()),
+					msg: fmt.Sprintf("%s.%s: %s", id.Name, sel.Sel.Name, why),
+				})
+			}
+			return true
+		})
+	}
+	return findings, nil
+}

@@ -207,6 +207,7 @@ type Client struct {
 	// Stats.
 	OneSidedGets int64
 	MetaLookups  int64
+	Overloads    int64
 }
 
 type cachedHandle struct {
@@ -246,8 +247,15 @@ func (k *Client) serverFor(key string) int {
 
 // metaRPC sends one metadata-path request through the bounded retry
 // layer, so a flapping link is retried and a dead server fails fast.
+// An overloaded server is visible to callers as lite.ErrOverloaded —
+// a definitive "not executed" the application may back off on and
+// resubmit, unlike a timeout whose call may still be in flight.
 func (k *Client) metaRPC(p *simtime.Proc, dst int, req []byte) ([]byte, error) {
-	return k.c.RPCRetry(p, dst, kvFn, req, 512)
+	out, err := k.c.RPCRetry(p, dst, kvFn, req, 512)
+	if errors.Is(err, lite.ErrOverloaded) {
+		k.Overloads++
+	}
+	return out, err
 }
 
 // Put stores value under key via the metadata path.

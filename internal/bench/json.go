@@ -19,6 +19,7 @@ type JSONHist struct {
 	MeanNs int64  `json:"mean_ns"`
 	P50Ns  int64  `json:"p50_ns"`
 	P99Ns  int64  `json:"p99_ns"`
+	P999Ns int64  `json:"p999_ns"`
 }
 
 // JSONMetrics is a metric snapshot in the JSON feed.
@@ -85,6 +86,7 @@ func newJSONMetrics(s *obs.Snapshot) *JSONMetrics {
 			MeanNs: int64(h.Mean()),
 			P50Ns:  int64(h.Quantile(0.5)),
 			P99Ns:  int64(h.Quantile(0.99)),
+			P999Ns: int64(h.Quantile(0.999)),
 		})
 	}
 	return m

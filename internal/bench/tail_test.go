@@ -1,0 +1,61 @@
+package bench
+
+import "testing"
+
+// TestOpenLoopReproducible reruns the overloaded admission-controlled
+// configuration twice with the same seed and demands bit-identical
+// results — counts, span, and every reported quantile. This is the
+// whole-stack determinism check: the Poisson schedule, the simulated
+// fabric, the admission decisions, and the histogram must all be pure
+// functions of the seed.
+func TestOpenLoopReproducible(t *testing.T) {
+	a, err := runOpenLoop(42, 2.0, 300, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runOpenLoop(42, 2.0, 300, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Issued != b.Issued || a.OK != b.OK || a.Shed != b.Shed || a.Timeout != b.Timeout || a.Errored != b.Errored {
+		t.Fatalf("counts differ:\n  %+v\n  %+v", a, b)
+	}
+	if a.Start != b.Start || a.End != b.End {
+		t.Fatalf("span differs: [%v,%v] vs [%v,%v]", a.Start, a.End, b.Start, b.End)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if a.Hist.Quantile(q) != b.Hist.Quantile(q) {
+			t.Fatalf("q%.3f differs: %v vs %v", q, a.Hist.Quantile(q), b.Hist.Quantile(q))
+		}
+	}
+	// The overloaded run must actually exercise the admission path,
+	// or this reproducibility check is vacuous.
+	if a.Shed == 0 {
+		t.Fatal("overloaded run shed nothing; admission control not exercised")
+	}
+}
+
+// TestOpenLoopAdmissionBoundsTail pins the experiment's headline
+// claim: past the knee, the admission-controlled server keeps the
+// survivors' tail bounded near queue-cap x service time and never
+// times a call out, while the ablation's queue grows until calls age
+// into the timeout.
+func TestOpenLoopAdmissionBoundsTail(t *testing.T) {
+	adm, err := runOpenLoop(42, 2.0, 600, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abl, err := runOpenLoop(42, 2.0, 600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.Timeout != 0 {
+		t.Fatalf("admission run timed out %d calls, want 0", adm.Timeout)
+	}
+	if abl.Timeout == 0 {
+		t.Fatal("ablation run had no timeouts; overload not reproduced")
+	}
+	if adm.P99() >= abl.P99() {
+		t.Fatalf("admission p99 %v not below ablation p99 %v", adm.P99(), abl.P99())
+	}
+}

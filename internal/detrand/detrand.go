@@ -1,0 +1,88 @@
+// Package detrand provides the repository's deterministic random
+// number generators. Everything simulated must replay bit for bit from
+// a seed, so no package under internal/ may use math/rand (whose
+// stream is not guaranteed stable across Go releases) or any other
+// source of nondeterminism; cmd/simlint enforces that. The core here
+// is the splitmix64 sequence already used by the retry-jitter and
+// fault-injection code, packaged with the float/int/Zipf helpers the
+// workload and load generators need.
+package detrand
+
+import "math"
+
+// RNG is a deterministic pseudo-random generator: a splitmix64
+// sequence, fully determined by its seed.
+type RNG struct{ state uint64 }
+
+// New returns a generator seeded with the given value.
+func New(seed uint64) *RNG { return &RNG{state: seed ^ 0x9e3779b97f4a7c15} }
+
+// Uint64 returns the next value of the sequence.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n). Panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("detrand: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Zipf samples integers k in [0, n) with P(k) proportional to
+// 1/(1+k)^s — the same distribution math/rand's Zipf(s, 1, n-1)
+// draws from — by inverse-CDF lookup over a precomputed cumulative
+// table. The table costs O(n) memory, which is fine at the vocabulary
+// and graph sizes the workloads use (tens of thousands).
+type Zipf struct {
+	r   *RNG
+	cdf []float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent s.
+// Exponents at or below 1 are clamped to 1.01 (the distribution needs
+// s > 1 to have a finite tail at large n).
+func NewZipf(seed uint64, s float64, n uint64) *Zipf {
+	if s <= 1 {
+		s = 1.01
+	}
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := uint64(0); k < n; k++ {
+		sum += math.Pow(float64(1+k), -s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{r: New(seed), cdf: cdf}
+}
+
+// Next draws one sample.
+func (z *Zipf) Next() uint64 {
+	u := z.r.Float64()
+	// Binary search for the first bucket whose cumulative mass covers u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint64(lo)
+}

@@ -1,0 +1,76 @@
+package detrand
+
+import "testing"
+
+func TestDeterministicStream(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must reproduce the same stream")
+		}
+	}
+	c := New(43)
+	if a.Uint64() == c.Uint64() && a.Uint64() == c.Uint64() {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v outside [0,1)", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(2)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only hit %d values", len(seen))
+	}
+}
+
+func TestZipfSkewAndBounds(t *testing.T) {
+	z := NewZipf(3, 1.6, 1000)
+	counts := make([]int, 1000)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v >= 1000 {
+			t.Fatalf("Zipf sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate: far above the uniform share.
+	if counts[0] < 10*n/1000 {
+		t.Fatalf("Zipf not skewed: rank-0 count %d of %d", counts[0], n)
+	}
+	// And the distribution must be decreasing in aggregate: the top 10
+	// ranks together should carry a large share.
+	top := 0
+	for i := 0; i < 10; i++ {
+		top += counts[i]
+	}
+	if top < n/4 {
+		t.Fatalf("top-10 share too small: %d of %d", top, n)
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a, b := NewZipf(9, 1.8, 500), NewZipf(9, 1.8, 500)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must reproduce the same Zipf stream")
+		}
+	}
+}

@@ -202,6 +202,12 @@ func (i *Instance) handleControl(p *simtime.Proc, c *Call) {
 		key := bindKey{c.Src, fn}
 		ring, ok := i.srvRings[key]
 		if !ok {
+			if validateRingBytes(i.opts.RingBytes) != nil {
+				// A ring the IMM offset encoding cannot address must
+				// never go live; the client surfaces a setup error.
+				reply(cstBadArg, nil)
+				return
+			}
 			pa, err := i.node.Mem.AllocContiguous(i.opts.RingBytes)
 			if err != nil {
 				reply(errToCst(err), nil)

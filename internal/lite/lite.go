@@ -46,6 +46,19 @@ var (
 	ErrNodeDead     = errors.New("lite: node declared dead")
 	ErrNoSuchRPC    = errors.New("lite: no RPC function with that ID")
 	ErrRemoteFailed = errors.New("lite: remote operation failed")
+	// ErrOverloaded reports that the destination shed the call at
+	// admission: its pending-call queue for the function was past the
+	// configured high-water mark. Unlike ErrTimeout it is a definitive
+	// statement that the call did NOT execute, so retrying it (with
+	// backoff) is always safe — and unlike a timeout it arrives in one
+	// round trip instead of a full timeout wait.
+	ErrOverloaded = errors.New("lite: server overloaded, call shed")
+	// ErrBadRingBytes reports an Options.RingBytes the IMM offset
+	// encoding cannot address: ring offsets travel in 23 bits of 8-byte
+	// units, so rings must be positive multiples of 8 no larger than
+	// MaxRingBytes (64 MB). Anything larger would silently wrap offsets
+	// and corrupt the ring.
+	ErrBadRingBytes = errors.New("lite: RingBytes must be a positive multiple of 8 no larger than 64 MB")
 )
 
 // Options configures a LITE deployment.
@@ -89,6 +102,14 @@ type Options struct {
 	// retry attempts (doubled per attempt, plus deterministic jitter
 	// derived from the simulation clock, never wall-clock).
 	RetryBackoff simtime.Time
+
+	// AdmissionHighWater, when positive, enables server-side admission
+	// control on application RPC functions: a request arriving while
+	// the function's pending-call queue already holds this many calls
+	// is shed immediately with a fast ErrOverloaded notification back
+	// to the caller, instead of being queued until the caller's wait
+	// degenerates into a timeout. Zero (the default) disables shedding.
+	AdmissionHighWater int
 
 	// DisableInline turns off in-WQE (inline) payload delivery: every
 	// ring post then pays the NIC's payload DMA-read stage regardless
@@ -159,11 +180,17 @@ type Instance struct {
 	srvRings  map[bindKey]*srvRing
 	pending   map[uint32]*pendingCall
 	nextToken uint32
-	headUpd   *simtime.Chan[headUpdate]
-	msgQueue  []Message
-	msgCond   simtime.Cond
-	sysQueue  []*rpcFunc
-	sysCond   simtime.Cond
+	// nextSeq numbers retried RPCs for server-side duplicate
+	// suppression. It is monotonic for the life of the instance and
+	// deliberately NOT reset on restart, so a rebooted client can never
+	// collide with sequence numbers its previous incarnation left in a
+	// server's dedup window.
+	nextSeq  uint64
+	headUpd  *simtime.Chan[headUpdate]
+	msgQueue []Message
+	msgCond  simtime.Cond
+	sysQueue []*rpcFunc
+	sysCond  simtime.Cond
 
 	// Sync state (sync.go).
 	locks map[uint64]*lockState
@@ -208,6 +235,9 @@ type Deployment struct {
 func Start(cls *cluster.Cluster, opts Options) (*Deployment, error) {
 	if opts.QPsPerPair < 1 {
 		return nil, fmt.Errorf("lite: QPsPerPair must be >= 1")
+	}
+	if err := validateRingBytes(opts.RingBytes); err != nil {
+		return nil, err
 	}
 	dep := &Deployment{
 		Cluster:   cls,

@@ -1,0 +1,219 @@
+package lite
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"lite/internal/cluster"
+	"lite/internal/params"
+	"lite/internal/simtime"
+)
+
+// TestRingBytesBoundary pins the IMM encoding limit: a ring of exactly
+// MaxRingBytes (64 MB) is accepted, one alignment step past it — or an
+// unaligned or non-positive size — is rejected with the typed error at
+// instance setup, before any binding can be built on it.
+func TestRingBytesBoundary(t *testing.T) {
+	cases := []struct {
+		name string
+		ring int64
+		ok   bool
+	}{
+		{"exactly-max", MaxRingBytes, true},
+		{"max-plus-8", MaxRingBytes + 8, false},
+		{"unaligned", 4096 + 4, false},
+		{"zero", 0, false},
+		{"negative", -8, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := params.Default()
+			cls := cluster.MustNew(&cfg, 2, 1<<30)
+			opts := DefaultOptions()
+			opts.RingBytes = tc.ring
+			_, err := Start(cls, opts)
+			if tc.ok && err != nil {
+				t.Fatalf("RingBytes=%d: Start failed: %v", tc.ring, err)
+			}
+			if !tc.ok && !errors.Is(err, ErrBadRingBytes) {
+				t.Fatalf("RingBytes=%d: err = %v, want ErrBadRingBytes", tc.ring, err)
+			}
+		})
+	}
+}
+
+// TestRPCDedupDropReply provokes the duplicate-execution scenario the
+// sequence-number window exists for: the server executes the call but
+// the reply is lost, the client times out and retries, and the server
+// must recognize the retry and replay the cached reply instead of
+// executing the handler twice.
+func TestRPCDedupDropReply(t *testing.T) {
+	cfg := params.Default()
+	cls := cluster.MustNew(&cfg, 2, 1<<30)
+	opts := DefaultOptions()
+	opts.RPCTimeout = 200 * time.Microsecond
+	opts.RetryBackoff = 20 * time.Microsecond
+	dep, err := Start(cls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const replyLen = 480
+	execs := 0
+	inst := dep.Instance(1)
+	if err := inst.ServeRPC(echoFn, 1, func(p *simtime.Proc, c *Call) []byte {
+		execs++
+		out := make([]byte, replyLen)
+		copy(out, c.Input)
+		return out
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drop exactly the first server->client transfer big enough to be
+	// the reply (control traffic and credit updates are far smaller);
+	// the retry's replayed reply must get through.
+	drops := 0
+	cls.Fab.SetDropHook(func(at simtime.Time, src, dst int, size int64) bool {
+		if src == 1 && dst == 0 && size >= replyLen && drops == 0 {
+			drops++
+			return true
+		}
+		return false
+	})
+
+	var out []byte
+	cls.GoOn(0, "client", func(p *simtime.Proc) {
+		c := dep.Instance(0).KernelClient()
+		out, err = c.RPCRetry(p, 1, echoFn, []byte("dedup-probe"), 512)
+	})
+	run(t, cls)
+
+	if err != nil {
+		t.Fatalf("RPCRetry after dropped reply: %v", err)
+	}
+	if drops != 1 {
+		t.Fatalf("drop hook fired %d times, want exactly 1 (reply lost once)", drops)
+	}
+	if execs != 1 {
+		t.Fatalf("handler executed %d times, want 1 (retry must be deduplicated)", execs)
+	}
+	want := make([]byte, replyLen)
+	copy(want, "dedup-probe")
+	if !bytes.Equal(out, want) {
+		t.Fatalf("replayed reply = %q, want %q", out, want)
+	}
+}
+
+// TestAdmissionShedsFast checks the admission-control contract: once
+// the pending-call queue reaches the high-water mark, a new call is
+// rejected with ErrOverloaded at network round-trip speed instead of
+// aging into the RPC timeout.
+func TestAdmissionShedsFast(t *testing.T) {
+	cfg := params.Default()
+	cls := cluster.MustNew(&cfg, 2, 1<<30)
+	opts := DefaultOptions()
+	opts.AdmissionHighWater = 2
+	dep, err := Start(cls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Register the function but run no server threads: every arriving
+	// call queues, so the third arrival finds the queue at the mark.
+	if err := dep.Instance(1).RegisterRPC(echoFn); err != nil {
+		t.Fatal(err)
+	}
+
+	var shedErr error
+	var shedLatency simtime.Time
+	for k := 0; k < 3; k++ {
+		k := k
+		cls.GoOn(0, "client", func(p *simtime.Proc) {
+			p.SleepUntil(simtime.Time(k+1) * simtime.Time(10*time.Microsecond))
+			c := dep.Instance(0).KernelClient()
+			start := p.Now()
+			_, err := c.RPC(p, 1, echoFn, []byte("q"), 64)
+			if k == 2 {
+				shedErr = err
+				shedLatency = p.Now() - start
+			} else if !errors.Is(err, ErrTimeout) {
+				t.Errorf("queued call %d: err = %v, want ErrTimeout", k, err)
+			}
+		})
+	}
+	run(t, cls)
+
+	if !errors.Is(shedErr, ErrOverloaded) {
+		t.Fatalf("third call: err = %v, want ErrOverloaded", shedErr)
+	}
+	if shedLatency >= simtime.Time(opts.RPCTimeout) {
+		t.Fatalf("shed took %v, want well under the %v timeout", shedLatency, opts.RPCTimeout)
+	}
+}
+
+// TestRetryOverloadBacksOff checks that the retry layer treats
+// ErrOverloaded as a definitive not-executed answer: it backs off and
+// retries the same binding — no rebind, which is the escalation for
+// ambiguous timeouts — and succeeds once the server drains.
+func TestRetryOverloadBacksOff(t *testing.T) {
+	cfg := params.Default()
+	cls := cluster.MustNew(&cfg, 2, 1<<30)
+	dom := cls.EnableObs()
+	opts := DefaultOptions()
+	opts.AdmissionHighWater = 1
+	dep, err := Start(cls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Instance(1).RegisterRPC(echoFn); err != nil {
+		t.Fatal(err)
+	}
+
+	// A first call occupies the queue slot so the probe call sheds.
+	cls.GoOn(0, "filler", func(p *simtime.Proc) {
+		c := dep.Instance(0).KernelClient()
+		if _, err := c.RPC(p, 1, echoFn, []byte("fill"), 64); err != nil {
+			t.Errorf("filler call: %v", err)
+		}
+	})
+	var probeErr error
+	cls.GoOn(0, "probe", func(p *simtime.Proc) {
+		p.Sleep(10 * time.Microsecond)
+		c := dep.Instance(0).KernelClient()
+		_, probeErr = c.RPCRetry(p, 1, echoFn, []byte("probe"), 64)
+	})
+	// The server comes up only after the probe has been shed at least
+	// once, then drains both calls.
+	cls.GoOn(1, "late-server", func(p *simtime.Proc) {
+		p.Sleep(50 * time.Microsecond)
+		c := dep.Instance(1).KernelClient()
+		for served := 0; served < 2; served++ {
+			call, err := c.RecvRPC(p, echoFn)
+			if err != nil {
+				t.Errorf("server recv: %v", err)
+				return
+			}
+			if err := c.ReplyRPC(p, call, call.Input); err != nil {
+				t.Errorf("server reply: %v", err)
+				return
+			}
+		}
+	})
+	run(t, cls)
+
+	if probeErr != nil {
+		t.Fatalf("probe after backoff: %v", probeErr)
+	}
+	snap := dom.Snapshot()
+	if n := snap.Counters["lite.retry.overloads"]; n < 1 {
+		t.Fatalf("lite.retry.overloads = %d, want >= 1", n)
+	}
+	if n := snap.Counters["lite.rpc.shed"]; n < 1 {
+		t.Fatalf("lite.rpc.shed = %d, want >= 1", n)
+	}
+	if n := snap.Counters["lite.retry.rebinds"]; n != 0 {
+		t.Fatalf("lite.retry.rebinds = %d, want 0 (overload must not trigger rebind)", n)
+	}
+}

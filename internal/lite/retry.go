@@ -23,12 +23,25 @@ const maxRetryBackoff = 20 * 1000 * 1000 // 20ms
 // against the (possibly restarted) server. A second consecutive
 // timeout also forces a rebind, which heals a ring whose head-update
 // credits were lost to message drops.
+//
+// The two retryable errors are handled very differently. A timeout is
+// ambiguous — the call may have executed with only the reply lost — so
+// user-function attempts all carry one client sequence number and the
+// server's dedup window guarantees single execution. An overload shed
+// is a definitive "did NOT execute": the retry backs off and tries
+// again, but never rebinds (the binding is healthy; the server is just
+// full) and never counts toward the rebind-forcing timeout streak.
 func (i *Instance) rpcRetryT(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time) ([]byte, error) {
 	attempts := i.opts.RetryAttempts
 	if attempts < 1 {
 		attempts = 1
 	}
+	var seq uint64
+	if fn >= FirstUserFunc && dst != i.node.ID {
+		seq = i.seqID()
+	}
 	var lastErr error
+	timeouts := 0
 	for a := 0; a < attempts; a++ {
 		if i.stopped {
 			return nil, ErrNodeDead
@@ -37,7 +50,7 @@ func (i *Instance) rpcRetryT(p *simtime.Proc, dst, fn int, input []byte, maxRepl
 			return nil, ErrNodeDead
 		}
 		epochBefore := i.epoch
-		out, err := i.rpcInternalT(p, dst, fn, input, maxReply, pri, timeout)
+		out, err := i.rpcInternalFull(p, dst, fn, input, maxReply, pri, timeout, false, seq)
 		if err == nil {
 			return out, nil
 		}
@@ -49,9 +62,15 @@ func (i *Instance) rpcRetryT(p *simtime.Proc, dst, fn int, input []byte, maxRepl
 			break
 		}
 		i.obsReg().Add("lite.retry.attempts", 1)
-		if i.epoch != epochBefore || a >= 1 {
-			i.obsReg().Add("lite.retry.rebinds", 1)
-			i.resetBinding(dst, fn)
+		if errors.Is(err, ErrOverloaded) {
+			i.obsReg().Add("lite.retry.overloads", 1)
+			timeouts = 0
+		} else {
+			timeouts++
+			if i.epoch != epochBefore || timeouts >= 2 {
+				i.obsReg().Add("lite.retry.rebinds", 1)
+				i.resetBinding(dst, fn)
+			}
 		}
 		p.Sleep(i.retryDelay(p, a))
 	}
@@ -62,7 +81,7 @@ func (i *Instance) rpcRetryT(p *simtime.Proc, dst, fn int, input []byte, maxRepl
 // ErrNodeDead is terminal; name-service and permission errors are
 // definitive answers, not transport failures.
 func retryable(err error) bool {
-	return errors.Is(err, ErrTimeout)
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrOverloaded)
 }
 
 // retryDelay returns the backoff before attempt a+1: base<<a, capped,

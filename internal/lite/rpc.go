@@ -31,12 +31,35 @@ const (
 	tagRPCReq  = 1
 	tagRPCRep  = 2
 	tagHeadUpd = 3
+	tagRPCShed = 4 // admission control: call shed, token in the low 28 bits
 
 	// MaxFunc is the exclusive upper bound on RPC function IDs.
 	MaxFunc = 32
 
 	ringAlign = 8
 )
+
+// MaxRingBytes is the largest RPC ring the IMM encoding can address:
+// 23 bits of 8-byte units. A ring of exactly this size is fine (its
+// largest frame offset is MaxRingBytes-8); anything bigger would wrap
+// offsets silently and corrupt the ring.
+const MaxRingBytes = int64(0x7fffff+1) * ringAlign // 64 MB
+
+// maxImmDelta is the largest head-update credit one IMM can carry.
+// Deltas include wrap padding and can approach twice the ring size, so
+// oversized credits are split across multiple updates.
+const maxImmDelta = int64(0x7fffff) * ringAlign
+
+// validateRingBytes rejects ring sizes the IMM offset encoding cannot
+// represent. Checked at deployment boot, at boot-time binding setup,
+// and on the serving side of ring negotiation, so a corrupting
+// configuration can never produce a live ring.
+func validateRingBytes(n int64) error {
+	if n <= 0 || n%ringAlign != 0 || n > MaxRingBytes {
+		return ErrBadRingBytes
+	}
+	return nil
+}
 
 func encodeImm(tag, fn int, v int64) uint32 {
 	return uint32(tag)<<28 | uint32(fn&0x1f)<<23 | uint32((v/ringAlign)&0x7fffff)
@@ -48,14 +71,23 @@ func decodeImm(imm uint32) (tag, fn int, v int64) {
 
 func encodeReplyImm(token uint32) uint32 { return uint32(tagRPCRep)<<28 | token&0x0fffffff }
 
+func encodeShedImm(token uint32) uint32 { return uint32(tagRPCShed)<<28 | token&0x0fffffff }
+
 // Ring message header layout (all little endian):
 //
 //	[0:4]   total payload length (header + input), pre-alignment
 //	[4:8]   reply token
 //	[8:16]  reply physical address on the caller's node
 //	[16:20] input length
-//	[20:..] input bytes
-const ringHdr = 20
+//	[20:28] client sequence number (0 = unsequenced, no dedup)
+//	[28:..] input bytes
+//
+// The sequence number identifies a logical call across retry attempts:
+// a timed-out RPC may have executed server-side with only the reply
+// lost, so the server keeps a small per-(client, function) window of
+// recently seen sequence numbers and answers duplicates from it
+// instead of running the handler twice.
+const ringHdr = 28
 
 // bindKey identifies an RPC binding: a (peer node, function) pair.
 type bindKey struct {
@@ -86,6 +118,52 @@ type srvRing struct {
 	pa        hostmem.PAddr
 	size      int64
 	headLocal int64 // monotonic bytes consumed (incl. wrap padding)
+
+	// dedup is the duplicate-suppression window for retried calls: the
+	// last dedupWindow sequence numbers seen from this (client, fn),
+	// with the cached reply once one completes. Duplicates of a
+	// completed call replay the cached reply; duplicates of an
+	// in-flight call redirect its eventual reply to the newest
+	// attempt's token and buffer. The window dies with the ring on
+	// crash teardown.
+	dedup     map[uint64]*dedupEntry
+	dedupFIFO []uint64
+}
+
+// dedupWindow bounds the per-(client, function) duplicate-suppression
+// window. A client retries one call at a time with bounded attempts,
+// so a handful of entries per binding is ample; the cap only bounds
+// memory against pathological clients.
+const dedupWindow = 64
+
+// dedupEntry is one remembered call in a srvRing's window.
+type dedupEntry struct {
+	seq   uint64
+	call  *Call // in-flight call, so a duplicate can redirect its reply
+	done  bool
+	reply []byte // cached output once replied
+}
+
+// dedupLookup returns the window entry for seq, if present.
+func (r *srvRing) dedupLookup(seq uint64) *dedupEntry {
+	if r.dedup == nil {
+		return nil
+	}
+	return r.dedup[seq]
+}
+
+// dedupInsert records a freshly admitted call, evicting the oldest
+// entry past the window cap.
+func (r *srvRing) dedupInsert(e *dedupEntry) {
+	if r.dedup == nil {
+		r.dedup = make(map[uint64]*dedupEntry)
+	}
+	r.dedup[e.seq] = e
+	r.dedupFIFO = append(r.dedupFIFO, e.seq)
+	if len(r.dedupFIFO) > dedupWindow {
+		delete(r.dedup, r.dedupFIFO[0])
+		r.dedupFIFO = r.dedupFIFO[1:]
+	}
 }
 
 // rpcFunc is a registered RPC function. Application functions queue
@@ -110,6 +188,10 @@ type Call struct {
 	// headDelta is the ring credit returned to the client when the
 	// call is consumed.
 	headDelta int64
+
+	// ded points at this call's dedup-window entry (sequenced calls
+	// only); the reply is cached there for duplicate replay.
+	ded *dedupEntry
 
 	// Node-local fast path.
 	local      bool
@@ -137,11 +219,26 @@ type pendingCall struct {
 	probe bool
 }
 
+// Kinds of notification the background header-update thread posts.
+// All three are small write-imms to the client, so they share the
+// thread's per-client doorbell batching and its ordering guarantee.
+const (
+	updCredit = iota // ring head credit (the original head update)
+	updShed          // admission control: zero-length shed notification
+	updReply         // cached-reply replay for a deduplicated retry
+)
+
 // headUpdate is queued to the background header-update thread.
 type headUpdate struct {
+	kind   int
 	client int
 	fn     int
-	delta  int64
+	delta  int64 // updCredit: bytes consumed
+
+	// updShed / updReply coordinates of the attempt being answered.
+	token   uint32
+	replyPA hostmem.PAddr
+	reply   []byte // updReply: cached output
 }
 
 // Message is a unidirectional LT_send message.
@@ -180,6 +277,9 @@ func (i *Instance) setupBinding(dst, fn int) error {
 	}
 	if fn != funcControl {
 		return fmt.Errorf("lite: setupBinding(%d) at boot is control-only", fn)
+	}
+	if err := validateRingBytes(i.opts.RingBytes); err != nil {
+		return err
 	}
 	remote := i.dep.Instances[dst]
 	pa, err := remote.node.Mem.AllocContiguous(i.opts.RingBytes)
@@ -242,6 +342,15 @@ func (i *Instance) token() uint32 {
 		i.nextToken = 1
 	}
 	return i.nextToken
+}
+
+// seqID allocates a client sequence number for one logical retried
+// call. It is monotonic for the life of the process and deliberately
+// not reset across instance restarts, so a restarted client can never
+// collide with its own stale entries in a server's dedup window.
+func (i *Instance) seqID() uint64 {
+	i.nextSeq++
+	return i.nextSeq
 }
 
 // reserveRing claims space for a message of the given aligned size in
@@ -362,8 +471,9 @@ func (i *Instance) acquireShared(p *simtime.Proc, dst int, pri Priority) (*rnic.
 			continue
 		}
 		if len(sig.inflight) == 0 {
-			// The held slots belong to individually signaled ops that
-			// release on their own completion; just wait for a permit.
+			// The held slots belong to posts still in flight (their
+			// holders file or release them when their PostSendList
+			// returns); just wait for a permit.
 			slot.Acquire(p)
 			return qp, k, sig, func() { slot.Release(env) }
 		}
@@ -389,25 +499,38 @@ func (i *Instance) acquireShared(p *simtime.Proc, dst int, pri Priority) (*rnic.
 // from free slots.
 func (i *Instance) postShared(p *simtime.Proc, dst int, pri Priority, wrs []rnic.WR) error {
 	qp, _, sig, release := i.acquireShared(p, dst, pri)
+	// The signaling decision must be made AND published in sig.count
+	// before PostSendList parks to pay the posting cost. Concurrent
+	// posters on the same QP would otherwise all read the
+	// pre-increment count, each decide "not my turn to signal", and
+	// fill the entire send queue with unsignaled WQEs — leaving no
+	// completion to ever reclaim the slots and deadlocking every
+	// sender to this destination. (Closed-loop clients never hit this;
+	// an open-loop burst does.)
 	signaled := sig.count+len(wrs) >= i.signalEvery()
 	if signaled {
 		last := &wrs[len(wrs)-1]
 		last.Signaled = true
 		last.WRID = i.wrID()
+		sig.count = 0
+	} else {
+		sig.count += len(wrs)
 	}
 	err := i.ctx.PostSendList(p, qp, wrs)
 	if err != nil {
 		release()
 		return err
 	}
-	sig.count += len(wrs)
 	sig.pending = append(sig.pending, release)
 	if !signaled {
 		return nil
 	}
+	// The batch takes every release currently deferred on this QP.
+	// Releases of posts that raced in after this WR was decided may
+	// ride along and free their slot on this completion — a slightly
+	// early reclaim of the simulated slot budget, never a leak.
 	sig.inflight = append(sig.inflight, reclaimBatch{wrid: wrs[len(wrs)-1].WRID, releases: sig.pending})
 	sig.pending = nil
-	sig.count = 0
 	return nil
 }
 
@@ -416,7 +539,7 @@ func (i *Instance) postShared(p *simtime.Proc, dst int, pri Priority, wrs []rnic
 // never polled; reply or timeout detects failure). Frames that fit
 // Params.MaxInline travel inline in the WQE and skip the payload DMA
 // stage.
-func (i *Instance) postToRing(p *simtime.Proc, b *binding, fn int, token uint32, replyPA hostmem.PAddr, input []byte, pri Priority, probe bool) error {
+func (i *Instance) postToRing(p *simtime.Proc, b *binding, fn int, token uint32, replyPA hostmem.PAddr, input []byte, pri Priority, probe bool, seq uint64) error {
 	need := int64(ringHdr + len(input))
 	aligned := (need + ringAlign - 1) &^ (ringAlign - 1)
 	off, err := i.reserveRing(p, b, aligned, probe)
@@ -429,6 +552,7 @@ func (i *Instance) postToRing(p *simtime.Proc, b *binding, fn int, token uint32,
 	binary.LittleEndian.PutUint32(msg[4:], token)
 	binary.LittleEndian.PutUint64(msg[8:], uint64(replyPA))
 	binary.LittleEndian.PutUint32(msg[16:], uint32(len(input)))
+	binary.LittleEndian.PutUint64(msg[20:], seq)
 	copy(msg[ringHdr:], input)
 
 	i.qos.throttle(p, pri, need)
@@ -461,13 +585,21 @@ func (i *Instance) rpcInternal(p *simtime.Proc, dst, fn int, input []byte, maxRe
 // means wait forever (used by locks and barriers, whose replies are
 // intentionally withheld until the event occurs).
 func (i *Instance) rpcInternalT(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time) ([]byte, error) {
-	return i.rpcInternalProbe(p, dst, fn, input, maxReply, pri, timeout, false)
+	return i.rpcInternalFull(p, dst, fn, input, maxReply, pri, timeout, false, 0)
 }
 
 // rpcInternalProbe is rpcInternalT with the probe flag exposed:
 // keepalives may target declared-dead nodes, since a successful probe
 // is exactly what revives one.
 func (i *Instance) rpcInternalProbe(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time, probe bool) ([]byte, error) {
+	return i.rpcInternalFull(p, dst, fn, input, maxReply, pri, timeout, probe, 0)
+}
+
+// rpcInternalFull is the complete LT_RPC entry point. seq, when
+// nonzero, is the client sequence number identifying this logical call
+// across retry attempts; the server's dedup window uses it to suppress
+// duplicate execution after a lost reply.
+func (i *Instance) rpcInternalFull(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time, probe bool, seq uint64) ([]byte, error) {
 	reg := i.obsReg()
 	parent := procSpan(p)
 	t0 := p.Now()
@@ -489,7 +621,7 @@ func (i *Instance) rpcInternalProbe(p *simtime.Proc, dst, fn int, input []byte, 
 	i.pending[token] = pc
 
 	post := reg.StartSpan(p.Now(), "lite.rpc.post", parent)
-	err = i.postToRing(p, b, fn, token, respPA, input, pri, probe)
+	err = i.postToRing(p, b, fn, token, respPA, input, pri, probe, seq)
 	post.Done(p.Now())
 	if err != nil {
 		delete(i.pending, token)
@@ -610,6 +742,13 @@ func (i *Instance) replyRPCInternal(p *simtime.Proc, c *Call, output []byte, pri
 		c.pend.cond.Broadcast(i.cls.Env)
 		return nil
 	}
+	if c.ded != nil {
+		// Remember the outcome so a duplicate retry of this sequence
+		// number replays the reply instead of re-running the handler.
+		c.ded.done = true
+		c.ded.call = nil
+		c.ded.reply = append([]byte(nil), output...)
+	}
 	post := reg.StartSpan(p.Now(), "lite.rpc.post", parent)
 	i.qos.throttle(p, pri, int64(len(output)))
 	err := i.postShared(p, c.Src, pri, []rnic.WR{{
@@ -642,7 +781,7 @@ func (i *Instance) sendInternal(p *simtime.Proc, dst int, data []byte, pri Prior
 	if err != nil {
 		return err
 	}
-	return i.postToRing(p, b, funcMsg, 0, 0, data, pri, false)
+	return i.postToRing(p, b, funcMsg, 0, 0, data, pri, false, 0)
 }
 
 // recvInternal implements the receive side of LT_send.
@@ -760,6 +899,20 @@ func (i *Instance) handleRecvCQE(p *simtime.Proc, cqe rnic.CQE) {
 			b.head += v
 			b.space.Broadcast(i.cls.Env)
 		}
+	case tagRPCShed:
+		token := cqe.Imm & 0x0fffffff
+		if pc, ok := i.pending[token]; ok {
+			delete(i.pending, token)
+			if pc.abandoned {
+				// The shed notice raced with the waiter's timeout; no
+				// reply will ever land, so free the quarantined buffer.
+				i.scratch.release(token)
+				return
+			}
+			pc.err = ErrOverloaded
+			pc.done = true
+			pc.cond.Broadcast(i.cls.Env)
+		}
 	}
 }
 
@@ -779,6 +932,7 @@ func (i *Instance) handleRPCReq(p *simtime.Proc, src, fn int, off int64) {
 	token := binary.LittleEndian.Uint32(hdr[4:])
 	replyPA := hostmem.PAddr(binary.LittleEndian.Uint64(hdr[8:]))
 	inLen := int64(binary.LittleEndian.Uint32(hdr[16:]))
+	seq := binary.LittleEndian.Uint64(hdr[20:])
 	if inLen < 0 || inLen > total-ringHdr {
 		return
 	}
@@ -806,18 +960,69 @@ func (i *Instance) handleRPCReq(p *simtime.Proc, src, fn int, off int64) {
 		i.queueHeadUpdate(p, src, fn, delta)
 		return
 	}
+	if seq != 0 {
+		if e := ring.dedupLookup(seq); e != nil {
+			// Retry of a call already seen from this (client, fn). The
+			// frame still consumed ring space, so always credit it; then
+			// either replay the cached reply or redirect the in-flight
+			// call's eventual reply to this newest attempt's coordinates.
+			i.queueHeadUpdate(p, src, fn, delta)
+			if e.done {
+				i.obsReg().Add("lite.rpc.dedup_replay", 1)
+				i.queueNotify(p, headUpdate{kind: updReply, client: src, fn: fn, token: token, replyPA: replyPA, reply: e.reply})
+			} else {
+				i.obsReg().Add("lite.rpc.dedup_redirect", 1)
+				e.call.token = token
+				e.call.replyPA = replyPA
+			}
+			return
+		}
+	}
+	if fn >= FirstUserFunc {
+		reg := i.obsReg()
+		reg.Observe("lite.rpc.queue_depth", simtime.Time(len(f.queue)))
+		if hw := i.opts.AdmissionHighWater; hw > 0 {
+			p.Work(i.cfg.AdmissionCheck)
+			if len(f.queue) >= hw {
+				// Shed: credit the frame and tell the client fast with a
+				// zero-length write-imm, instead of letting it burn a
+				// full RPC timeout against a queue that cannot drain.
+				reg.Add("lite.rpc.shed", 1)
+				i.queueHeadUpdate(p, src, fn, delta)
+				i.queueNotify(p, headUpdate{kind: updShed, client: src, fn: fn, token: token})
+				return
+			}
+		}
+	}
+	if seq != 0 {
+		e := &dedupEntry{seq: seq, call: call}
+		call.ded = e
+		ring.dedupInsert(e)
+	}
 	i.dispatchCall(f, call)
 	// The paper adjusts the header at LT_recvRPC time and ships it from
 	// a background thread; the delta rides on the call until consumed.
 }
 
 // queueHeadUpdate hands a ring-credit notification to the background
-// header-update thread (step f in Figure 9).
+// header-update thread (step f in Figure 9). Credits larger than the
+// IMM delta encoding (possible with wrap padding on a near-maximal
+// ring) are split across several updates.
 func (i *Instance) queueHeadUpdate(p *simtime.Proc, client, fn int, delta int64) {
-	if i.stopped {
-		return // crashed mid-consume: the credit dies with the node
+	for delta > maxImmDelta {
+		i.queueNotify(p, headUpdate{kind: updCredit, client: client, fn: fn, delta: maxImmDelta})
+		delta -= maxImmDelta
 	}
-	if !i.headUpd.TrySend(p, headUpdate{client: client, fn: fn, delta: delta}) {
+	i.queueNotify(p, headUpdate{kind: updCredit, client: client, fn: fn, delta: delta})
+}
+
+// queueNotify hands any notification (credit, shed, reply replay) to
+// the background header-update thread.
+func (i *Instance) queueNotify(p *simtime.Proc, u headUpdate) {
+	if i.stopped {
+		return // crashed mid-consume: the notification dies with the node
+	}
+	if !i.headUpd.TrySend(p, u) {
 		// The queue is sized far beyond any realistic backlog; losing a
 		// credit would leak ring space, so fail loudly.
 		panic("lite: header-update queue overflow")
@@ -828,10 +1033,11 @@ func (i *Instance) queueHeadUpdate(p *simtime.Proc, client, fn int, delta int64)
 // thread drains into one doorbell-batched burst.
 const headUpdBatchMax = 16
 
-// headUpdateWR builds the zero-length write-imm carrying one ring
-// credit (only the IMM matters; zero bytes always fit inline).
-func (i *Instance) headUpdateWR(u headUpdate) rnic.WR {
-	return rnic.WR{
+// notifyWR builds the write-imm for one queued notification: a
+// zero-length ring credit, a zero-length shed notice, or a cached
+// reply replayed into the retrying attempt's response buffer.
+func (i *Instance) notifyWR(u headUpdate) rnic.WR {
+	wr := rnic.WR{
 		Kind:      rnic.OpWriteImm,
 		WRID:      i.wrID(),
 		Signaled:  false,
@@ -839,8 +1045,20 @@ func (i *Instance) headUpdateWR(u headUpdate) rnic.WR {
 		Len:       0,
 		RemoteKey: i.dep.Instances[u.client].globalMR.Key(),
 		RemoteOff: 0,
-		Imm:       encodeImm(tagHeadUpd, u.fn, u.delta),
 	}
+	switch u.kind {
+	case updShed:
+		wr.Imm = encodeShedImm(u.token)
+	case updReply:
+		wr.Inline = i.wantInline(int64(len(u.reply)))
+		wr.LocalBuf = u.reply
+		wr.Len = int64(len(u.reply))
+		wr.RemoteOff = int64(u.replyPA)
+		wr.Imm = encodeReplyImm(u.token)
+	default:
+		wr.Imm = encodeImm(tagHeadUpd, u.fn, u.delta)
+	}
+	return wr
 }
 
 // headUpdateLoop is the background thread that returns ring head
@@ -868,11 +1086,11 @@ func (i *Instance) headUpdateLoop(p *simtime.Proc) {
 		// matters: credits for one binding must land in sequence).
 		for len(batch) > 0 {
 			client := batch[0].client
-			wrs := []rnic.WR{i.headUpdateWR(batch[0])}
+			wrs := []rnic.WR{i.notifyWR(batch[0])}
 			rest := batch[:0]
 			for _, v := range batch[1:] {
 				if v.client == client {
-					wrs = append(wrs, i.headUpdateWR(v))
+					wrs = append(wrs, i.notifyWR(v))
 				} else {
 					rest = append(rest, v)
 				}

@@ -1,0 +1,45 @@
+package lite
+
+import (
+	"fmt"
+
+	"lite/internal/simtime"
+)
+
+// ServeRPC registers an application RPC function and spawns a bounded
+// pool of server threads for it. The pool size is the concurrency
+// limit on the serving side: calls beyond it queue at the function,
+// and — when Options.AdmissionHighWater is set — queue past the
+// high-water mark is shed back to clients with ErrOverloaded instead
+// of being allowed to pile up into ring-full timeouts. Each worker is
+// a daemon thread running the LT_recvRPC / handler / LT_replyRPC loop
+// with the combined reply+receive call, mirroring the paper's
+// multi-threaded RPC servers (§5.2).
+//
+// The handler returns the reply payload; it runs on the worker's
+// simulated thread, so any p.Work it performs is the per-call service
+// time that determines the pool's capacity.
+func (i *Instance) ServeRPC(fn, workers int, handler func(p *simtime.Proc, c *Call) []byte) error {
+	if workers < 1 {
+		return fmt.Errorf("lite: ServeRPC needs at least one worker, got %d", workers)
+	}
+	if err := i.RegisterRPC(fn); err != nil {
+		return err
+	}
+	for w := 0; w < workers; w++ {
+		i.cls.GoDaemonOn(i.node.ID, fmt.Sprintf("lite-serve-%d", fn), func(p *simtime.Proc) {
+			c := i.KernelClient()
+			call, err := c.RecvRPC(p, fn)
+			if err != nil {
+				return
+			}
+			for {
+				call, err = c.ReplyRecvRPC(p, call, handler(p, call), fn)
+				if err != nil {
+					return
+				}
+			}
+		})
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package obs
+
+import "testing"
+
+// TestQuantileBucketBoundaries records observations sitting exactly on
+// the power-of-two bucket boundaries — the worst case for a log2
+// histogram, where an off-by-one in bucketOf or the interpolation puts
+// a value in the neighbouring bucket and quantiles drift a full bucket
+// width.
+func TestQuantileBucketBoundaries(t *testing.T) {
+	h := &Histogram{}
+	for d := Time(2); d <= 1024; d *= 2 {
+		h.Record(d)
+	}
+	if q := h.Quantile(0); q != 2 {
+		t.Fatalf("q=0: got %v, want min 2", q)
+	}
+	if q := h.Quantile(1); q != 1024 {
+		t.Fatalf("q=1: got %v, want max 1024", q)
+	}
+	// Each boundary value is alone in its bucket, so every quantile
+	// estimate must land on one of the recorded boundaries (the
+	// interpolated position inside a bucket is clamped by its single
+	// occupant's bounds only up to bucket resolution — but it must
+	// never leave the observed [min, max] or break monotonicity).
+	prev := Time(0)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < 2 || v > 1024 {
+			t.Fatalf("q=%.2f: %v outside observed [2, 1024]", q, v)
+		}
+		if v < prev {
+			t.Fatalf("q=%.2f: quantile %v < previous %v (non-monotone)", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestQuantileSingleAndUniform pins the degenerate shapes: one
+// observation, and many copies of the same observation. Every quantile
+// must return exactly that value — bucket interpolation must not
+// manufacture values that were never observed.
+func TestQuantileSingleAndUniform(t *testing.T) {
+	one := &Histogram{}
+	one.Record(777)
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 0.999, 1} {
+		if v := one.Quantile(q); v != 777 {
+			t.Fatalf("single obs, q=%v: got %v, want 777", q, v)
+		}
+	}
+
+	uni := &Histogram{}
+	for k := 0; k < 1000; k++ {
+		uni.Record(4096) // exact bucket upper bound
+	}
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if v := uni.Quantile(q); v != 4096 {
+			t.Fatalf("uniform, q=%v: got %v, want 4096", q, v)
+		}
+	}
+}
+
+// TestQuantileClampedOutOfRange pins the contract for callers passing
+// silly probabilities: below 0 clamps to the min, above 1 to the max,
+// and an empty histogram reports zero everywhere.
+func TestQuantileClampedOutOfRange(t *testing.T) {
+	h := &Histogram{}
+	h.Record(10)
+	h.Record(1000)
+	if v := h.Quantile(-0.5); v != 10 {
+		t.Fatalf("q=-0.5: got %v, want min 10", v)
+	}
+	if v := h.Quantile(2.5); v != 1000 {
+		t.Fatalf("q=2.5: got %v, want max 1000", v)
+	}
+	var empty Histogram
+	if v := empty.Quantile(0.99); v != 0 {
+		t.Fatalf("empty: got %v, want 0", v)
+	}
+	var nilH *Histogram
+	if v := nilH.Quantile(0.99); v != 0 {
+		t.Fatalf("nil: got %v, want 0", v)
+	}
+}

@@ -113,6 +113,10 @@ type Config struct {
 	// permission check and address mapping (paper: < 0.3 us total
 	// metadata handling; mapping+protection is the dominant part).
 	LITECheck time.Duration
+	// AdmissionCheck is the per-request cost of the server-side
+	// admission-control gate (queue-depth load, high-water compare),
+	// charged only when a high-water mark is configured.
+	AdmissionCheck time.Duration
 	// AdaptivePollWindow is how long the LITE user library busy-checks
 	// the shared completion page before sleeping (5.2's adaptive
 	// thread model).
@@ -174,6 +178,7 @@ func Default() Config {
 		SyscallCrossing:    85 * time.Nanosecond,
 		KernelDispatch:     60 * time.Nanosecond,
 		LITECheck:          120 * time.Nanosecond,
+		AdmissionCheck:     20 * time.Nanosecond,
 		AdaptivePollWindow: 8 * time.Microsecond,
 		WakeupLatency:      1500 * time.Nanosecond,
 

@@ -10,8 +10,9 @@ package workload
 
 import (
 	"math"
-	"math/rand"
 	"time"
+
+	"lite/internal/detrand"
 )
 
 // FacebookKV generates key sizes, value sizes, and inter-arrival times
@@ -19,12 +20,12 @@ import (
 // generalized-extreme-value key sizes, generalized-Pareto value sizes,
 // and generalized-Pareto inter-arrival gaps.
 type FacebookKV struct {
-	rng *rand.Rand
+	rng *detrand.RNG
 }
 
 // NewFacebookKV returns a generator with the given seed.
 func NewFacebookKV(seed int64) *FacebookKV {
-	return &FacebookKV{rng: rand.New(rand.NewSource(seed))}
+	return &FacebookKV{rng: detrand.New(uint64(seed))}
 }
 
 // KeySize draws one key size in bytes (GEV(30.7, 8.2, 0.078),
@@ -69,20 +70,16 @@ func (f *FacebookKV) InterArrival() time.Duration {
 
 // Zipf draws integers in [0, n) with a Zipf distribution of exponent s.
 type Zipf struct {
-	z *rand.Zipf
+	z *detrand.Zipf
 }
 
 // NewZipf returns a Zipf sampler over [0, n).
 func NewZipf(seed int64, s float64, n uint64) *Zipf {
-	if s <= 1 {
-		s = 1.01
-	}
-	r := rand.New(rand.NewSource(seed))
-	return &Zipf{z: rand.NewZipf(r, s, 1, n-1)}
+	return &Zipf{z: detrand.NewZipf(uint64(seed), s, n)}
 }
 
 // Next draws one sample.
-func (z *Zipf) Next() uint64 { return z.z.Uint64() }
+func (z *Zipf) Next() uint64 { return z.z.Next() }
 
 // Graph is a directed power-law graph in compressed adjacency form.
 type Graph struct {
@@ -98,14 +95,14 @@ type Graph struct {
 // on (power-law graphs are exactly what PowerGraph's vertex cuts
 // target).
 func NewPowerLawGraph(seed int64, vertices, edges int) *Graph {
-	rng := rand.New(rand.NewSource(seed))
-	zipfSrc := rand.NewZipf(rng, 1.8, 1, uint64(vertices-1))
+	rng := detrand.New(uint64(seed))
+	zipfSrc := detrand.NewZipf(uint64(seed)+1, 1.8, uint64(vertices))
 	// Draw out-degrees proportional to a Zipf sample per vertex, then
 	// scale to the requested edge count.
 	deg := make([]float64, vertices)
 	var total float64
 	for v := range deg {
-		deg[v] = float64(zipfSrc.Uint64() + 1)
+		deg[v] = float64(zipfSrc.Next() + 1)
 		total += deg[v]
 	}
 	offsets := make([]int32, vertices+1)
@@ -175,7 +172,7 @@ type Corpus struct {
 func NewCorpus(seed int64, vocab int) *Corpus {
 	words := make([]string, vocab)
 	letters := []byte("abcdefghijklmnopqrstuvwxyz")
-	rng := rand.New(rand.NewSource(seed))
+	rng := detrand.New(uint64(seed))
 	seen := make(map[string]bool, vocab)
 	for i := range words {
 		for {
