@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race lint bench bench-smoke bench-guard smoke obs-guard
+.PHONY: ci fmt vet build test race lint cover bench bench-smoke bench-guard smoke obs-guard
 
-ci: fmt vet lint build race smoke obs-guard bench-guard
+ci: fmt vet lint build race cover smoke obs-guard bench-guard
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -22,6 +22,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# cover: the core LITE layer carries the dedup/admission/failover state
+# machines; its statement coverage must not silently erode. The floor
+# sits below the current figure (~86%) so honest refactors pass while a
+# test-free subsystem landing in internal/lite fails loudly.
+COVER_FLOOR = 80.0
+cover:
+	@pct=$$($(GO) test -cover ./internal/lite/ | awk '{for (i=1; i<=NF; i++) if ($$i ~ /%$$/) print substr($$i, 1, length($$i)-1)}'); \
+	if [ -z "$$pct" ]; then echo "cover: no coverage figure from go test"; exit 1; fi; \
+	ok=$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { print (p >= f) ? 1 : 0 }'); \
+	if [ "$$ok" = 1 ]; then \
+		echo "cover: internal/lite at $$pct% (floor $(COVER_FLOOR)%)"; \
+	else \
+		echo "cover: internal/lite at $$pct% is below the $(COVER_FLOOR)% floor"; exit 1; \
+	fi
+
 # lint: simulation code must not read the host clock or the global
 # math/rand stream — either breaks bit-for-bit reproducibility.
 lint:
@@ -34,7 +49,7 @@ bench:
 # experiment subset (each experiment finishes in under a second of
 # wall time).
 bench-smoke:
-	$(GO) run ./cmd/litebench -metrics -json BENCH_litebench.json trace breakdown tput tail saturate
+	$(GO) run ./cmd/litebench -metrics -json BENCH_litebench.json trace breakdown tput tail saturate fairness
 
 # bench-guard re-runs the experiments recorded in the committed feed
 # and fails if any virtual-time figure drifted: performance changes

@@ -11,10 +11,21 @@
 //   - imports of math/rand or math/rand/v2
 //   - calls through the time package to Now or Since (time.Duration
 //     constants remain fine — they are values, not clock reads)
+//   - ranging over a map while collecting into an outer slice or
+//     writing to a builder/encoder: Go randomizes map iteration order,
+//     so the collected order differs run to run. Collectors that are
+//     later passed to a sort.* call in the same function are fine —
+//     sorting launders the order — as is ranging purely for membership
+//     or independent per-entry updates.
 //
 // Import renames are honoured: `import t "time"` followed by t.Now()
 // is still flagged, and a local variable named "time" shadowing the
-// package is not.
+// package is not. The map-range rule infers map-typed expressions from
+// the file alone (declarations, make calls, literals, parameters, and
+// receiver fields declared in the same file); cross-file types are out
+// of reach for a single-file parse, so the rule is best-effort by
+// design — it exists to catch the common in-file leak, not to prove
+// determinism.
 package main
 
 import (
@@ -132,5 +143,248 @@ func lintFile(path string) ([]finding, error) {
 			return true
 		})
 	}
+	findings = append(findings, lintMapRange(fset, file)...)
 	return findings, nil
+}
+
+// mapFields collects the fields of map type declared by struct types in
+// this file, keyed "StructName.field".
+func mapFields(file *ast.File) map[string]bool {
+	fields := map[string]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, f := range st.Fields.List {
+			if _, isMap := f.Type.(*ast.MapType); !isMap {
+				continue
+			}
+			for _, name := range f.Names {
+				fields[ts.Name.Name+"."+name.Name] = true
+			}
+		}
+		return true
+	})
+	return fields
+}
+
+// recvType returns the bare name of a method's receiver type ("" for
+// plain functions).
+func recvType(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// mapExprs walks a function and records the names with map type visible
+// from the file alone: parameters, var declarations, := from make or a
+// map literal, plus "recv.field" selector paths for receiver fields
+// declared as maps in this file.
+type mapExprs struct {
+	names  map[string]bool // plain identifiers of map type
+	fields map[string]bool // "recvName.fieldName" selector paths
+}
+
+func collectMapExprs(fn *ast.FuncDecl, structFields map[string]bool) mapExprs {
+	m := mapExprs{names: map[string]bool{}, fields: map[string]bool{}}
+	addFieldList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if _, isMap := f.Type.(*ast.MapType); !isMap {
+				continue
+			}
+			for _, name := range f.Names {
+				m.names[name.Name] = true
+			}
+		}
+	}
+	addFieldList(fn.Type.Params)
+	if rt := recvType(fn); rt != "" && fn.Recv.List[0].Names != nil {
+		recv := fn.Recv.List[0].Names[0].Name
+		for key := range structFields {
+			if strings.HasPrefix(key, rt+".") {
+				m.fields[recv+"."+strings.TrimPrefix(key, rt+".")] = true
+			}
+		}
+	}
+	isMapValued := func(e ast.Expr) bool {
+		switch v := e.(type) {
+		case *ast.CompositeLit:
+			_, ok := v.Type.(*ast.MapType)
+			return ok
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) > 0 {
+				_, ok := v.Args[0].(*ast.MapType)
+				return ok
+			}
+		}
+		return false
+	}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.ValueSpec:
+			if _, isMap := v.Type.(*ast.MapType); isMap {
+				for _, name := range v.Names {
+					m.names[name.Name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range v.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(v.Rhs) {
+					continue
+				}
+				if isMapValued(v.Rhs[i]) {
+					m.names[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return m
+}
+
+// exprPath renders an identifier or one-level selector ("m", "a.b") for
+// lookup against the collected map expressions; "" if neither.
+func exprPath(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		if id, ok := v.X.(*ast.Ident); ok {
+			return id.Name + "." + v.Sel.Name
+		}
+	}
+	return ""
+}
+
+// declaredWithin reports whether an identifier resolves to a
+// declaration positioned inside the given block.
+func declaredWithin(id *ast.Ident, block *ast.BlockStmt) bool {
+	if id.Obj == nil {
+		return false
+	}
+	decl, ok := id.Obj.Decl.(ast.Node)
+	if !ok {
+		return false
+	}
+	return decl.Pos() >= block.Pos() && decl.End() <= block.End()
+}
+
+// orderSinks are method/package calls that serialize whatever order the
+// loop visits: writing inside a map range bakes the random order into
+// the output.
+var orderSinks = map[string]bool{
+	"WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprintf": true, "Fprintln": true, "Fprint": true,
+}
+
+// lintMapRange flags map iterations whose visit order escapes: an
+// append into a collector declared outside the loop (unless the same
+// function later sorts that collector), or a direct write to a
+// builder/encoder sink from inside the loop body.
+func lintMapRange(fset *token.FileSet, file *ast.File) []finding {
+	var findings []finding
+	structFields := mapFields(file)
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		exprs := collectMapExprs(fn, structFields)
+
+		// sortedVars are identifiers passed to any sort.* call anywhere
+		// in this function: collect-then-sort launders map order.
+		sortedVars := map[string]bool{}
+		ast.Inspect(fn, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "sort" || pkg.Obj != nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := arg.(*ast.Ident); ok {
+					sortedVars[id.Name] = true
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(fn, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			path := exprPath(rng.X)
+			if path == "" || !(exprs.names[path] || exprs.fields[path]) {
+				return true
+			}
+			ast.Inspect(rng.Body, func(b ast.Node) bool {
+				switch v := b.(type) {
+				case *ast.AssignStmt:
+					// v = append(v, ...) with plain `=`: the collector
+					// lives outside the loop and inherits map order.
+					if v.Tok != token.ASSIGN {
+						return true
+					}
+					for i, rhs := range v.Rhs {
+						call, ok := rhs.(*ast.CallExpr)
+						if !ok {
+							continue
+						}
+						if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || id.Obj != nil {
+							continue
+						}
+						dst, ok := v.Lhs[i].(*ast.Ident)
+						if !ok || sortedVars[dst.Name] {
+							continue
+						}
+						// A collector declared inside the loop body dies
+						// every iteration; only outer collectors can
+						// accumulate cross-iteration order.
+						if declaredWithin(dst, rng.Body) {
+							continue
+						}
+						findings = append(findings, finding{
+							pos: fset.Position(v.Pos()),
+							msg: fmt.Sprintf("append to %q inside range over map %q: iteration order is randomized — sort %[1]q afterwards or range over a sorted key slice", dst.Name, path),
+						})
+					}
+				case *ast.CallExpr:
+					sel, ok := v.Fun.(*ast.SelectorExpr)
+					if !ok || !orderSinks[sel.Sel.Name] {
+						return true
+					}
+					findings = append(findings, finding{
+						pos: fset.Position(v.Pos()),
+						msg: fmt.Sprintf("%s.%s inside range over map %q: iteration order is randomized — collect and sort keys first", exprPath(sel.X), sel.Sel.Name, path),
+					})
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return findings
 }

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readLines(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return strings.Split(string(data), "\n"), nil
+}
+
+// TestMapRangeFixtures runs the linter over the map-range fixture file
+// and checks it fires on exactly the BAD-marked lines and nowhere
+// else. The fixture marks each intended violation with a trailing
+// "// BAD" on the range statement.
+func TestMapRangeFixtures(t *testing.T) {
+	path := filepath.Join("testdata", "maprange.go")
+	findings, err := lintFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{} // line of each `// BAD` range statement
+	src, err := readLines(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range src {
+		if strings.Contains(line, "// BAD") {
+			want[i+1] = true
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture has no BAD markers; the test is vacuous")
+	}
+	// Each finding sits inside the body of a BAD-marked loop: attribute
+	// it to the nearest BAD line above it.
+	got := map[int]int{}
+	for _, f := range findings {
+		marked := 0
+		for line := range want {
+			if line <= f.pos.Line && line > marked {
+				marked = line
+			}
+		}
+		if marked == 0 {
+			t.Errorf("unexpected finding outside any BAD block: %s: %s", f.pos, f.msg)
+			continue
+		}
+		got[marked]++
+	}
+	for line := range want {
+		if got[line] != 1 {
+			t.Errorf("BAD marker at line %d produced %d finding(s), want exactly 1", line, got[line])
+		}
+	}
+	if len(findings) != len(want) {
+		for _, f := range findings {
+			t.Logf("finding: %s: %s", f.pos, f.msg)
+		}
+		t.Fatalf("%d findings for %d BAD markers", len(findings), len(want))
+	}
+}
+
+// TestCleanOnOwnSource keeps the linter self-hosting: its own source
+// (and by extension every non-fixture file it ships with) must pass.
+func TestCleanOnOwnSource(t *testing.T) {
+	findings, err := lintFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s: %s", f.pos, f.msg)
+	}
+}

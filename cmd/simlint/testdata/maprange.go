@@ -1,0 +1,107 @@
+// Package fixtures exercises the simlint map-range rule. Each BAD
+// marker below must produce exactly one finding; everything else must
+// stay clean. The file is parsed, never compiled.
+package fixtures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+type registry struct {
+	counters map[string]int64
+	name     string
+}
+
+// badAppendPlain: collecting map keys into an outer slice without
+// sorting leaks iteration order.
+func badAppendPlain(m map[string]int) []string {
+	var keys []string
+	for k := range m { // BAD
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// badAppendReceiverField: the map comes from a receiver field declared
+// in this file.
+func (r *registry) badAppendReceiverField() []string {
+	var names []string
+	for name := range r.counters { // BAD
+		names = append(names, name)
+	}
+	return names
+}
+
+// badAppendMakeLocal: map-typed locals introduced via make are tracked.
+func badAppendMakeLocal() []int {
+	m := make(map[int]bool)
+	var out []int
+	for k := range m { // BAD
+		out = append(out, k)
+	}
+	return out
+}
+
+// badBuilderWrite: serializing entries straight out of the loop bakes
+// the random order into the output.
+func badBuilderWrite(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m { // BAD
+		b.WriteString(fmt.Sprintf("%s=%d,", k, v))
+	}
+	return b.String()
+}
+
+// goodSortedAfter: collect-then-sort is the sanctioned pattern.
+func goodSortedAfter(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodSortSlice: sort.Slice counts as laundering too.
+func goodSortSlice(m map[int64]bool) []int64 {
+	var pages []int64
+	for p := range m {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	return pages
+}
+
+// goodPerEntryUpdate: order-independent mutation inside the loop is
+// fine — nothing observable depends on visit order.
+func goodPerEntryUpdate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodLocalAppendInLoop: a collector declared inside the loop dies
+// each iteration and cannot accumulate cross-iteration order.
+func goodLocalAppendInLoop(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		row := []int{}
+		row = append(row, vs...)
+		n += len(row)
+	}
+	return n
+}
+
+// goodSliceRange: ranging over a slice is ordered; the rule must not
+// fire just because an append appears in a loop.
+func goodSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

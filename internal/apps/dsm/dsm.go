@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"lite/internal/cluster"
@@ -244,6 +245,9 @@ func (d *NodeDSM) Release(p *simtime.Proc) error {
 	if len(dirty) == 0 {
 		return nil
 	}
+	// Map iteration order is randomized; the write-back and
+	// invalidation traffic must hit the fabric in a replayable order.
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
 	for _, page := range dirty {
 		pg := d.cache[page]
 		idx, off := d.sys.homeOf(page)

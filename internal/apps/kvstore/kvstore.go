@@ -208,6 +208,7 @@ type Client struct {
 	OneSidedGets int64
 	MetaLookups  int64
 	Overloads    int64
+	Resubmits    int64
 }
 
 type cachedHandle struct {
@@ -250,8 +251,20 @@ func (k *Client) serverFor(key string) int {
 // An overloaded server is visible to callers as lite.ErrOverloaded —
 // a definitive "not executed" the application may back off on and
 // resubmit, unlike a timeout whose call may still be in flight.
+//
+// A retry that crossed a server restart comes back ErrMaybeExecuted:
+// the call may or may not have run, and the transport cannot say
+// which. Every kvstore metadata op (put, get-meta, delete) is
+// idempotent — re-running one lands the store in the same state — so
+// the ambiguity is safe to resolve by resubmitting once against the
+// restarted server. A second ambiguous answer is surfaced: something
+// is wrong beyond a single unlucky restart.
 func (k *Client) metaRPC(p *simtime.Proc, dst int, req []byte) ([]byte, error) {
 	out, err := k.c.RPCRetry(p, dst, kvFn, req, 512)
+	if errors.Is(err, lite.ErrMaybeExecuted) {
+		k.Resubmits++
+		out, err = k.c.RPCRetry(p, dst, kvFn, req, 512)
+	}
 	if errors.Is(err, lite.ErrOverloaded) {
 		k.Overloads++
 	}

@@ -119,33 +119,59 @@ func tail() (*Table, error) {
 	return t, nil
 }
 
-// saturate sweeps offered load across the knee with admission control
-// on, reporting achieved goodput and the tail at each point.
+// saturate locates the saturation knee with admission control on: a
+// coarse doubling ramp until the server first sheds (or the goodput
+// gap opens), then a fixed number of bisection steps between the last
+// clean rate and the first overloaded one. Every probe reruns the same
+// seed, so the bracketing — and the whole table — is deterministic.
 func saturate() (*Table, error) {
 	t := &Table{
 		ID:     "saturate",
-		Title:  "Saturation sweep, admission hw=16 (capacity 1 req/us)",
-		Header: []string{"Offered (req/us)", "Achieved (req/us)", "OK", "Shed", "Timeout", "p50 (us)", "p99 (us)", "p999 (us)"},
+		Title:  "Saturation knee auto-bisection, admission hw=16 (capacity 1 req/us)",
+		Header: []string{"Phase", "Offered (req/us)", "Achieved (req/us)", "OK", "Shed", "Timeout", "p50 (us)", "p99 (us)", "p999 (us)"},
 	}
 	const n = 300
-	knee := 0.0
-	for _, rate := range []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6} {
+	overloaded := func(rate float64, res *load.Result) bool {
+		return res.Shed > 0 || res.AchievedPerUs() < 0.95*rate
+	}
+	probe := func(phase string, rate float64) (*load.Result, error) {
 		res, err := runOpenLoop(7, rate, n, 16)
 		if err != nil {
 			return nil, err
 		}
-		achieved := res.AchievedPerUs()
-		if knee == 0 && (res.Shed > 0 || achieved < 0.95*rate) {
-			knee = rate
-		}
-		t.AddRow(fmt.Sprintf("%.1f", rate), fmt.Sprintf("%.2f", achieved),
+		t.AddRow(phase, fmt.Sprintf("%.3f", rate), fmt.Sprintf("%.2f", res.AchievedPerUs()),
 			fmt.Sprintf("%d", res.OK), fmt.Sprintf("%d", res.Shed), fmt.Sprintf("%d", res.Timeout),
 			us(res.P50()), us(res.P99()), us(res.P999()))
+		return res, nil
 	}
-	if knee > 0 {
-		t.Note("knee: first sustained shedding or >5%% goodput gap at %.1f req/us offered", knee)
-	} else {
-		t.Note("no knee found in the swept range")
+	lo, hi := 0.0, 0.0
+	for rate := 0.2; rate <= 3.2; rate *= 2 {
+		res, err := probe("ramp", rate)
+		if err != nil {
+			return nil, err
+		}
+		if overloaded(rate, res) {
+			hi = rate
+			break
+		}
+		lo = rate
 	}
+	if hi == 0 {
+		t.Note("no knee found: the server kept up through 3.2 req/us offered")
+		return t, nil
+	}
+	for i := 0; i < 5; i++ {
+		mid := (lo + hi) / 2
+		res, err := probe("bisect", mid)
+		if err != nil {
+			return nil, err
+		}
+		if overloaded(mid, res) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	t.Note("knee bisected to [%.3f, %.3f] req/us offered (first shed or >5%% goodput gap)", lo, hi)
 	return t, nil
 }

@@ -1,0 +1,295 @@
+package lite
+
+import "lite/internal/simtime"
+
+// Cost-aware, per-client-fair admission control.
+//
+// The depth-only policy (Options.AdmissionHighWater alone) treats every
+// queued call as equal, so one greedy client can occupy the whole
+// pending-call budget and starve everyone else — exactly the
+// multi-tenant sharing problem LITE's shared kernel-level RPC service
+// (§5, §6) exists to arbitrate. The fair policy keeps, per function, a
+// cost model and per-client in-flight accounting:
+//
+//   - cost of one call = input bytes + the EWMA of the handler's
+//     observed service time (one cost unit per byte and per nanosecond;
+//     both are "how long this call will occupy the server" proxies:
+//     bytes for the data motion, the EWMA for the CPU);
+//   - budget = AdmissionHighWater × the average per-call cost, i.e. the
+//     depth knob re-expressed in cost units, so operators keep one
+//     tuning parameter;
+//   - each client may hold budget/activeClients of in-flight cost (its
+//     fair share), plus a deficit-round-robin carryover: a round ends
+//     when one budget's worth of cost has been admitted, and a client
+//     that under-used its share while holding less than a share in
+//     flight banks the unused part (capped at two shares) as deficit;
+//   - a call past the share line is admitted only if the marginal cost
+//     is covered 1:1 by banked deficit, and otherwise shed with a
+//     Retry-After hint sized to when a slot for it should free up.
+//
+// All state is integers, mutated only from the node's poller and server
+// threads inside the deterministic simulation, so runs replay bit for
+// bit.
+
+const (
+	// admEwmaShift is the EWMA decay: est += (sample - est) >> shift,
+	// i.e. alpha = 1/8 — slow enough to ride out bimodal handlers,
+	// fast enough to track a real shift within ~16 calls.
+	admEwmaShift = 3
+
+	// maxAdmCost clamps any single observation or per-call cost so a
+	// pathological sample (an hours-long handler, a near-2^63 byte
+	// claim) cannot overflow the int64 accounting that sums them.
+	maxAdmCost = int64(1) << 40
+
+	// maxAdmHint caps the Retry-After hint carried in a shed
+	// notification; a hint is advice about queue drain, not a lease,
+	// and must never park a client for longer than a timeout would.
+	maxAdmHint = simtime.Time(2_000_000) // 2ms
+)
+
+// ewmaInt is an integer exponentially-weighted moving average. The
+// first observation primes it; until then value() is zero and primed
+// reports false, which admit() uses to fall back to depth-only.
+type ewmaInt struct {
+	v      int64
+	primed bool
+}
+
+func (e *ewmaInt) observe(s int64) {
+	if s < 0 {
+		s = 0
+	}
+	if s > maxAdmCost {
+		s = maxAdmCost
+	}
+	if !e.primed {
+		e.v = s
+		e.primed = true
+		return
+	}
+	e.v += (s - e.v) >> admEwmaShift
+}
+
+// clientAdm is one client's admission accounting for one function.
+type clientAdm struct {
+	cost    int64 // admitted cost still in flight
+	calls   int   // admitted calls still in flight
+	used    int64 // cost admitted during the current DRR round
+	deficit int64 // unused share carried from the previous round
+}
+
+// fnAdm is the per-function fair-admission state.
+type fnAdm struct {
+	svc     ewmaInt // observed handler service time, nanoseconds
+	in      ewmaInt // observed input size, bytes
+	total   int64   // admitted in-flight cost across all clients
+	round   int64   // cost admitted in the current DRR round
+	clients map[int]*clientAdm
+}
+
+func newFnAdm() *fnAdm { return &fnAdm{clients: make(map[int]*clientAdm)} }
+
+// callCost estimates the cost of admitting one call with the given
+// input size.
+func (a *fnAdm) callCost(bytes int64) int64 {
+	c := bytes + a.svc.v
+	if c < 1 {
+		c = 1
+	}
+	if c > maxAdmCost {
+		c = maxAdmCost
+	}
+	return c
+}
+
+// budget is the total in-flight cost the function accepts: the depth
+// high-water mark expressed in cost units via the average call cost.
+func (a *fnAdm) budget(hw int) int64 {
+	unit := a.svc.v + a.in.v
+	if unit < 1 {
+		unit = 1
+	}
+	b := int64(hw) * unit
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+func (a *fnAdm) client(src int) *clientAdm {
+	c := a.clients[src]
+	if c == nil {
+		c = &clientAdm{}
+		a.clients[src] = c
+	}
+	return c
+}
+
+// active counts clients with admitted work in flight, always including
+// the arriving client itself (a newcomer deserves a share before it
+// holds anything). Counting over the map is order-independent, so map
+// iteration cannot perturb the result.
+func (a *fnAdm) active(src int) int {
+	n := 0
+	seen := false
+	for id, c := range a.clients {
+		if c.calls > 0 || c.cost > 0 {
+			n++
+			if id == src {
+				seen = true
+			}
+		}
+	}
+	if !seen {
+		n++
+	}
+	return n
+}
+
+// endRound closes a DRR round: a client that under-used its share
+// banks the unused part as deficit, capped at two shares so an idle
+// client cannot hoard unbounded credit; a client at or over its share
+// starts the next round with none. Clients with nothing in flight and
+// no deficit are garbage-collected. Every per-client update is
+// independent, so map iteration order does not affect the outcome.
+func (a *fnAdm) endRound(share int64) {
+	for id, c := range a.clients {
+		// Deficit is for clients that genuinely could not use their
+		// share — under-admitted this round AND holding less than a
+		// share in flight when it closed. A persistently over-share
+		// client whose round usage merely dipped must not earn credit
+		// it would immediately spend to stay over share.
+		if spare := share - c.used; spare > 0 && c.cost < share {
+			c.deficit += spare
+			if c.deficit > 2*share {
+				c.deficit = 2 * share
+			}
+		} else {
+			c.deficit = 0
+		}
+		c.used = 0
+		if c.calls == 0 && c.cost == 0 && c.deficit == 0 {
+			delete(a.clients, id)
+		}
+	}
+	a.round = 0
+}
+
+// admit decides one arrival from src with the given input size, at the
+// configured high-water mark and current queue depth. On admission it
+// returns the charged cost, to be released via complete() when the
+// reply posts. On a shed it returns a Retry-After hint: the estimated
+// time until the client's in-flight work drains enough to admit one
+// more call.
+func (a *fnAdm) admit(src int, bytes int64, hw, depth int) (cost int64, hint simtime.Time, ok bool) {
+	a.in.observe(bytes)
+	cost = a.callCost(bytes)
+	if !a.svc.primed {
+		// Cold start: no service-time estimate means no cost model;
+		// behave exactly like the depth-only policy until the first
+		// completion primes the EWMA. The accounting below still runs
+		// so in-flight state is consistent once the model wakes up.
+		if depth >= hw {
+			return 0, 0, false
+		}
+	} else {
+		bud := a.budget(hw)
+		share := bud / int64(a.active(src))
+		if share < 1 {
+			share = 1
+		}
+		if a.round >= bud {
+			a.endRound(share)
+		}
+		c := a.client(src)
+		if over := c.cost + cost - share; over > 0 {
+			// Over share: the part of this call past the share line
+			// must be covered 1:1 by deficit banked in under-used
+			// earlier rounds. Admitting on spare total budget instead
+			// was tried and rejected: spare slots open in proportion
+			// to arrival rate, so a work-conservation rule hands
+			// nearly all of them to the most aggressive client and
+			// quietly re-creates the depth-only policy's proportional
+			// allocation.
+			spend := cost
+			if over < cost {
+				spend = over
+			}
+			if spend > c.deficit {
+				h := simtime.Time(a.svc.v) * simtime.Time(c.calls+1)
+				if h > maxAdmHint {
+					h = maxAdmHint
+				}
+				return 0, h, false
+			}
+			c.deficit -= spend
+		}
+	}
+	c := a.client(src)
+	c.cost += cost
+	c.calls++
+	c.used += cost
+	a.total += cost
+	a.round += cost
+	return cost, 0, true
+}
+
+// complete releases an admitted call's cost when its reply posts.
+func (a *fnAdm) complete(src int, cost int64) {
+	c := a.clients[src]
+	if c == nil {
+		return
+	}
+	c.cost -= cost
+	if c.cost < 0 {
+		c.cost = 0
+	}
+	if c.calls > 0 {
+		c.calls--
+	}
+	a.total -= cost
+	if a.total < 0 {
+		a.total = 0
+	}
+	if c.calls == 0 && c.cost == 0 && c.deficit == 0 && c.used == 0 {
+		delete(a.clients, src)
+	}
+}
+
+// admFor returns (lazily creating) the fair-admission state for fn.
+func (i *Instance) admFor(fn int) *fnAdm {
+	if i.adm == nil {
+		i.adm = make(map[int]*fnAdm)
+	}
+	a := i.adm[fn]
+	if a == nil {
+		a = newFnAdm()
+		i.adm[fn] = a
+	}
+	return a
+}
+
+// admServiceObserve feeds one observed handler service time (dequeue
+// to reply, the same interval the lite.rpc.server span covers) into
+// the function's estimator. Cheap integer bookkeeping: it never
+// advances virtual time, so observing with the fair policy off cannot
+// perturb a depth-only timeline.
+func (i *Instance) admServiceObserve(fn int, d simtime.Time) {
+	if fn < FirstUserFunc {
+		return
+	}
+	i.admFor(fn).svc.observe(int64(d))
+}
+
+// admRelease returns an admitted call's cost to its function's budget
+// when the call replies.
+func (i *Instance) admRelease(c *Call) {
+	if c.admCost <= 0 {
+		return
+	}
+	if a := i.adm[c.Func]; a != nil {
+		a.complete(c.Src, c.admCost)
+	}
+	c.admCost = 0
+}

@@ -83,15 +83,23 @@ func (i *Instance) ctl(p *simtime.Proc, dst int, req []byte, maxReply int64, pri
 	return out[1:], nil
 }
 
-func (i *Instance) ctlBind(p *simtime.Proc, dst, fn int, pri Priority) (hostmem.PAddr, int64, error) {
+// ctlBind negotiates a ring for (dst, fn) and returns its address,
+// size, and the serving instance's boot count — the incarnation stamp
+// retried calls carry so the server can detect retries that crossed
+// its own restart.
+func (i *Instance) ctlBind(p *simtime.Proc, dst, fn int, pri Priority) (hostmem.PAddr, int64, uint64, error) {
 	req := make([]byte, 5)
 	req[0] = copBind
 	binary.LittleEndian.PutUint32(req[1:], uint32(fn))
-	out, err := i.ctl(p, dst, req, 16, pri)
+	out, err := i.ctl(p, dst, req, 24, pri)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
-	return hostmem.PAddr(binary.LittleEndian.Uint64(out[0:])), int64(binary.LittleEndian.Uint64(out[8:])), nil
+	if len(out) < 24 {
+		return 0, 0, 0, ErrRemoteFailed
+	}
+	return hostmem.PAddr(binary.LittleEndian.Uint64(out[0:])), int64(binary.LittleEndian.Uint64(out[8:])),
+		binary.LittleEndian.Uint64(out[16:]), nil
 }
 
 func (i *Instance) ctlAllocChunk(p *simtime.Proc, dst int, size int64, pri Priority) (hostmem.PAddr, error) {
@@ -213,18 +221,24 @@ func (i *Instance) handleControl(p *simtime.Proc, c *Call) {
 				reply(errToCst(err), nil)
 				return
 			}
-			ring = &srvRing{client: c.Src, fn: fn, pa: pa, size: i.opts.RingBytes}
+			// The ring is stamped with this incarnation's boot count:
+			// its dedup window can only vouch for calls first posted to
+			// this incarnation.
+			ring = &srvRing{client: c.Src, fn: fn, pa: pa, size: i.opts.RingBytes, boot: i.boots}
 			i.srvRings[key] = ring
 		} else {
 			// Re-bind after a failure: the client restarts its tail at
 			// zero, so reset the consume pointer to match. Frames the
 			// old incarnation left unconsumed are dropped (their
-			// callers have already timed out or failed over).
+			// callers have already timed out or failed over). The dedup
+			// window and its boot stamp survive — the server did not
+			// restart, so its duplicate-suppression history is intact.
 			ring.headLocal = 0
 		}
-		out := make([]byte, 16)
+		out := make([]byte, 24)
 		binary.LittleEndian.PutUint64(out[0:], uint64(ring.pa))
 		binary.LittleEndian.PutUint64(out[8:], uint64(ring.size))
+		binary.LittleEndian.PutUint64(out[16:], ring.boot)
 		reply(cstOK, out)
 
 	case copAllocChunk:

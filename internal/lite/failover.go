@@ -49,6 +49,9 @@ func (i *Instance) crash(p *simtime.Proc) {
 	i.scratch.quar = nil
 	i.scratch.quarBytes = 0
 	i.scratch.evicted = nil
+	// The calls the fair-admission policy was accounting for die with
+	// the incarnation; its state dies too.
+	i.adm = nil
 
 	// Stop daemons: the header-update thread exits on channel close;
 	// the poller and system workers observe stopped after a wakeup.
@@ -148,6 +151,11 @@ func (i *Instance) restart(p *simtime.Proc) {
 	}
 	i.stopped = false
 	env := i.cls.Env
+	// A new incarnation: rings negotiated from here stamp their dedup
+	// windows with the new boot count, so retries of calls first
+	// posted to the previous incarnation are detectably ambiguous.
+	i.boots++
+	i.adm = nil
 	i.pending = make(map[uint32]*pendingCall)
 	i.headUpd = simtime.NewChan[headUpdate](4096)
 	i.msgQueue = nil

@@ -53,6 +53,14 @@ var (
 	// backoff) is always safe — and unlike a timeout it arrives in one
 	// round trip instead of a full timeout wait.
 	ErrOverloaded = errors.New("lite: server overloaded, call shed")
+	// ErrMaybeExecuted reports that a retry of a timed-out call reached
+	// a server that has restarted since the call's first attempt: the
+	// dedup window that would have recognized the earlier attempt died
+	// with the previous incarnation, so whether the call executed is
+	// unknowable. Unlike a silent re-execution this is a typed answer
+	// the application can act on — idempotent operations resubmit,
+	// non-idempotent ones reconcile. It is terminal to the retry layer.
+	ErrMaybeExecuted = errors.New("lite: retry crossed a server restart, call may have executed")
 	// ErrBadRingBytes reports an Options.RingBytes the IMM offset
 	// encoding cannot address: ring offsets travel in 23 bits of 8-byte
 	// units, so rings must be positive multiples of 8 no larger than
@@ -60,6 +68,23 @@ var (
 	// and corrupt the ring.
 	ErrBadRingBytes = errors.New("lite: RingBytes must be a positive multiple of 8 no larger than 64 MB")
 )
+
+// OverloadError is the rich form of ErrOverloaded a shed notification
+// may carry when the fair admission policy is active: RetryAfter is
+// the server's estimate of when the client's in-flight work will have
+// drained enough to admit one more call — a Retry-After hint, not a
+// lease. It unwraps to ErrOverloaded, so errors.Is(err, ErrOverloaded)
+// matches either form and existing callers need no change; the retry
+// layer additionally extracts the hint with errors.As and stretches
+// its backoff to honor it.
+type OverloadError struct {
+	RetryAfter simtime.Time
+}
+
+func (e *OverloadError) Error() string { return ErrOverloaded.Error() }
+
+// Unwrap makes errors.Is(err, ErrOverloaded) hold.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
 
 // Options configures a LITE deployment.
 type Options struct {
@@ -110,6 +135,16 @@ type Options struct {
 	// to the caller, instead of being queued until the caller's wait
 	// degenerates into a timeout. Zero (the default) disables shedding.
 	AdmissionHighWater int
+
+	// FairAdmission upgrades admission control (it requires a positive
+	// AdmissionHighWater) from the depth-only shed to the cost-aware,
+	// per-client-fair policy in admission.go: calls are charged
+	// input-bytes + service-time-EWMA cost, each client is entitled to
+	// a deficit-round-robin fair share of AdmissionHighWater×avg-cost,
+	// and only the over-share client is shed — with a Retry-After hint
+	// in the notification — when the server is past budget. Off (the
+	// default) keeps the PR 4 depth-only behaviour.
+	FairAdmission bool
 
 	// DisableInline turns off in-WQE (inline) payload delivery: every
 	// ring post then pays the NIC's payload DMA-read stage regardless
@@ -185,7 +220,17 @@ type Instance struct {
 	// deliberately NOT reset on restart, so a rebooted client can never
 	// collide with sequence numbers its previous incarnation left in a
 	// server's dedup window.
-	nextSeq  uint64
+	nextSeq uint64
+	// adm is the per-function fair-admission state (admission.go),
+	// created lazily and wiped wholesale on crash/restart (the queued
+	// calls it accounted for die with the incarnation).
+	adm map[int]*fnAdm
+	// boots counts this node's incarnations: 0 at deployment boot,
+	// incremented by every restart. It stamps ring frames and the
+	// server-side dedup windows, so a retry whose first attempt
+	// targeted an earlier incarnation is detectably ambiguous
+	// (ErrMaybeExecuted) instead of silently re-executing.
+	boots    uint64
 	headUpd  *simtime.Chan[headUpdate]
 	msgQueue []Message
 	msgCond  simtime.Cond
@@ -491,6 +536,12 @@ func (i *Instance) initScratch() error {
 }
 
 func (s *scratchRing) alloc(n int64) hostmem.PAddr {
+	// Reserve at least one cache line even for zero-reply calls: a
+	// shed notification may write an 8-byte Retry-After hint into the
+	// reply buffer, so every response address must own real space.
+	if n < 64 {
+		n = 64
+	}
 	n = (n + 63) &^ 63
 	wraps := 0
 	for {
@@ -528,13 +579,15 @@ func (s *scratchRing) overlap(start, end int64) (quarRange, bool) {
 	return quarRange{}, false
 }
 
-// quarantine marks a reply buffer unusable until release. n may be
-// zero (calls with no reply payload), which quarantines nothing.
+// quarantine marks a reply buffer unusable until release. Every reply
+// buffer owns at least one cache line (see alloc), and even a
+// zero-reply call's buffer can still receive a late 8-byte shed hint,
+// so the minimum is quarantined too.
 func (s *scratchRing) quarantine(pa hostmem.PAddr, n int64, token uint32, epoch uint64) {
-	n = (n + 63) &^ 63
-	if n == 0 {
-		return
+	if n < 64 {
+		n = 64
 	}
+	n = (n + 63) &^ 63
 	start := int64(pa - s.base)
 	s.quar = append(s.quar, quarRange{start: start, end: start + n, token: token, epoch: epoch})
 	s.quarBytes += n

@@ -3,10 +3,12 @@ package lite
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
 	"lite/internal/cluster"
+	"lite/internal/load"
 	"lite/internal/params"
 	"lite/internal/simtime"
 )
@@ -216,4 +218,250 @@ func TestRetryOverloadBacksOff(t *testing.T) {
 	if n := snap.Counters["lite.retry.rebinds"]; n != 0 {
 		t.Fatalf("lite.retry.rebinds = %d, want 0 (overload must not trigger rebind)", n)
 	}
+}
+
+// --- cost-aware fair admission ---
+
+// runFairnessWorkload mirrors the bench fairness experiment exactly:
+// four clients share one 2-worker x 2us server (capacity 1 req/us) at
+// 2x aggregate overload, with client 3 offering 5x the load of each
+// well-behaved client. Requests go out raw (no retry wrapper) so each
+// client's OK count is the goodput the admission policy granted it.
+func runFairnessWorkload(t *testing.T, seed uint64, fair bool) []*load.Result {
+	t.Helper()
+	const (
+		clients = 4
+		srvNode = clients
+		service = 2 * time.Microsecond
+		workers = 2
+		reqs    = 2400
+		rate    = 2.0
+	)
+	cfg := params.Default()
+	cls := cluster.MustNew(&cfg, clients+1, 1<<30)
+	opts := DefaultOptions()
+	opts.RPCTimeout = 200 * time.Microsecond
+	opts.RetryBackoff = 20 * time.Microsecond
+	opts.AdmissionHighWater = 48
+	opts.FairAdmission = fair
+	dep, err := Start(cls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Instance(srvNode).ServeRPC(echoFn, workers, func(p *simtime.Proc, c *Call) []byte {
+		p.Work(service)
+		return c.Input[:8]
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Warm every binding (and prime the fair policy's service-time EWMA)
+	// before the schedule opens.
+	for n := 0; n < clients; n++ {
+		n := n
+		cls.GoOn(n, "warmup", func(p *simtime.Proc) {
+			c := dep.Instance(n).KernelClient()
+			if _, err := c.RPCRetry(p, srvNode, echoFn, make([]byte, 16), 64); err != nil {
+				t.Errorf("warmup %d: %v", n, err)
+			}
+		})
+	}
+	scheds := load.SplitPoissonWeighted(seed, rate, reqs, simtime.Time(50*time.Microsecond),
+		[]float64{0.25, 0.25, 0.25, 1.25})
+	nodes := make([]int, clients)
+	issuers := make([]*Client, clients)
+	for n := range nodes {
+		nodes[n] = n
+		issuers[n] = dep.Instance(n).KernelClient()
+	}
+	res := load.RunMulti(cls, nodes, scheds, func(p *simtime.Proc, issuer, k int) load.Status {
+		_, err := issuers[issuer].RPC(p, srvNode, echoFn, make([]byte, 16), 64)
+		switch {
+		case err == nil:
+			return load.StatusOK
+		case errors.Is(err, ErrOverloaded):
+			return load.StatusShed
+		case errors.Is(err, ErrTimeout):
+			return load.StatusTimeout
+		default:
+			return load.StatusError
+		}
+	})
+	run(t, cls)
+	return res
+}
+
+func goodputRatio(res []*load.Result) float64 {
+	min, max := res[0].OK, res[0].OK
+	for _, r := range res[1:] {
+		if r.OK < min {
+			min = r.OK
+		}
+		if r.OK > max {
+			max = r.OK
+		}
+	}
+	if min == 0 {
+		return float64(max)
+	}
+	return float64(max) / float64(min)
+}
+
+// fingerprintResults flattens per-client results into strings so two
+// same-seed runs can be compared bit for bit.
+func fingerprintResults(res []*load.Result) []string {
+	out := make([]string, len(res))
+	for n, r := range res {
+		out[n] = fmt.Sprintf("issued=%d ok=%d shed=%d timeout=%d err=%d p99=%d end=%d",
+			r.Issued, r.OK, r.Shed, r.Timeout, r.Errored, r.P99(), r.End)
+	}
+	return out
+}
+
+// TestFairAdmissionEqualizesGoodput is the fairness property test: at
+// 2x overload with one greedy client, the cost-aware DRR policy must
+// hold per-client goodput within 1.5x across clients, while the
+// depth-only ablation — identical arrival instants, only the admission
+// decision differs — leaves at least a 4x spread. Both policies must
+// replay bit for bit under the same seed.
+func TestFairAdmissionEqualizesGoodput(t *testing.T) {
+	const seed = 42
+	fair := runFairnessWorkload(t, seed, true)
+	fairRatio := goodputRatio(fair)
+	if fairRatio > 1.5 {
+		t.Fatalf("fair admission goodput max/min = %.2f, want <= 1.5 (per-client OK: %v)",
+			fairRatio, fingerprintResults(fair))
+	}
+	depth := runFairnessWorkload(t, seed, false)
+	depthRatio := goodputRatio(depth)
+	if depthRatio < 4.0 {
+		t.Fatalf("depth-only goodput max/min = %.2f, want >= 4 (per-client OK: %v)",
+			depthRatio, fingerprintResults(depth))
+	}
+	// Every client keeps a useful share under the fair policy: nobody is
+	// starved outright even while the aggregate stays 2x over capacity.
+	for n, r := range fair {
+		if r.OK == 0 {
+			t.Fatalf("fair admission starved client %d: %+v", n, r)
+		}
+	}
+	// Determinism: a same-seed rerun of each policy must reproduce every
+	// per-client tally, tail quantile, and completion instant exactly.
+	for _, tc := range []struct {
+		name string
+		fair bool
+		want []string
+	}{
+		{"fair", true, fingerprintResults(fair)},
+		{"depth-only", false, fingerprintResults(depth)},
+	} {
+		got := fingerprintResults(runFairnessWorkload(t, seed, tc.fair))
+		for n := range tc.want {
+			if got[n] != tc.want[n] {
+				t.Fatalf("%s policy replay diverged for client %d:\n  first:  %s\n  second: %s",
+					tc.name, n, tc.want[n], got[n])
+			}
+		}
+	}
+}
+
+// --- dedup across server restart ---
+
+// TestRetryRestartCrossingMaybeExecuted pins the dedup-window gap fix:
+// a call executes, its reply is lost, and the server crashes and
+// restarts before the retry lands. The restarted server's dedup window
+// is gone, so it cannot prove the retry safe to re-execute; it must
+// answer with the ambiguity signal and the retry layer must surface
+// the typed ErrMaybeExecuted — never execute the handler twice, never
+// pretend the call definitively failed.
+func TestRetryRestartCrossingMaybeExecuted(t *testing.T) {
+	opts := heartbeatOptions()
+	opts.RPCTimeout = 200 * time.Microsecond
+	opts.RetryBackoff = 20 * time.Microsecond
+	cls, dep := testDepOpts(t, 2, opts)
+	dom := cls.EnableObs()
+
+	const replyLen = 480
+	execs := 0
+	serve := func() {
+		if err := dep.Instance(1).ServeRPC(echoFn, 1, func(p *simtime.Proc, c *Call) []byte {
+			execs++
+			out := make([]byte, replyLen)
+			copy(out, c.Input)
+			return out
+		}); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}
+	serve()
+
+	// Drop the first full-size reply so the client times out after the
+	// handler has already run.
+	drops := 0
+	cls.Fab.SetDropHook(func(at simtime.Time, src, dst int, size int64) bool {
+		if src == 1 && dst == 0 && size >= replyLen && drops == 0 {
+			drops++
+			return true
+		}
+		return false
+	})
+
+	// The server bounces while the client is waiting out its timeout.
+	cls.GoOn(0, "bouncer", func(p *simtime.Proc) {
+		p.Sleep(50 * time.Microsecond)
+		cls.CrashNode(p, 1)
+		p.Sleep(50 * time.Microsecond)
+		cls.RestartNode(p, 1)
+	})
+
+	var callErr error
+	cls.GoOn(0, "client", func(p *simtime.Proc) {
+		c := dep.Instance(0).KernelClient()
+		_, callErr = c.RPCRetry(p, 1, echoFn, []byte("restart-probe"), 512)
+	})
+	run(t, cls)
+
+	if !errors.Is(callErr, ErrMaybeExecuted) {
+		t.Fatalf("retry across restart: err = %v, want ErrMaybeExecuted", callErr)
+	}
+	if execs != 1 {
+		t.Fatalf("handler executed %d times, want exactly 1", execs)
+	}
+	snap := dom.Snapshot()
+	if n := snap.Counters["lite.rpc.dedup_ambiguous"]; n < 1 {
+		t.Fatalf("lite.rpc.dedup_ambiguous = %d, want >= 1", n)
+	}
+	if n := snap.Counters["lite.retry.maybe_executed"]; n < 1 {
+		t.Fatalf("lite.retry.maybe_executed = %d, want >= 1", n)
+	}
+}
+
+// TestServeRPCRearmAfterRestart checks that a ServeRPC registration
+// survives a crash/restart cycle: the worker pool is re-spawned in the
+// new incarnation and a fresh call (new binding, new boot stamp)
+// succeeds without the caller doing anything special.
+func TestServeRPCRearmAfterRestart(t *testing.T) {
+	cls, dep := testDepOpts(t, 2, heartbeatOptions())
+	if err := dep.Instance(1).ServeRPC(echoFn, 1, func(p *simtime.Proc, c *Call) []byte {
+		return c.Input
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cls.GoOn(0, "driver", func(p *simtime.Proc) {
+		c := dep.Instance(0).KernelClient()
+		if out, err := c.RPCRetry(p, 1, echoFn, []byte("before"), 64); err != nil || string(out) != "before" {
+			t.Fatalf("RPC before restart = %q, %v", out, err)
+		}
+		cls.CrashNode(p, 1)
+		p.Sleep(100 * time.Microsecond)
+		cls.RestartNode(p, 1)
+		// Wait for rejoin, then the re-armed pool must serve again.
+		for dep.Instance(0).NodeDead(1) {
+			p.Sleep(200 * time.Microsecond)
+		}
+		out, err := c.RPCRetry(p, 1, echoFn, []byte("after"), 64)
+		if err != nil || string(out) != "after" {
+			t.Fatalf("RPC after restart = %q, %v", out, err)
+		}
+	})
+	run(t, cls)
 }

@@ -24,21 +24,26 @@ const maxRetryBackoff = 20 * 1000 * 1000 // 20ms
 // timeout also forces a rebind, which heals a ring whose head-update
 // credits were lost to message drops.
 //
-// The two retryable errors are handled very differently. A timeout is
+// The retryable errors are handled very differently. A timeout is
 // ambiguous — the call may have executed with only the reply lost — so
 // user-function attempts all carry one client sequence number and the
-// server's dedup window guarantees single execution. An overload shed
-// is a definitive "did NOT execute": the retry backs off and tries
-// again, but never rebinds (the binding is healthy; the server is just
-// full) and never counts toward the rebind-forcing timeout streak.
+// server's dedup window guarantees single execution; each timed-out
+// attempt also bumps the call's ambiguous-attempt count, which lets a
+// restarted server (whose window died with it) answer the retry with
+// the terminal ErrMaybeExecuted instead of re-executing. An overload
+// shed is a definitive "did NOT execute": the retry backs off and
+// tries again — stretching the backoff to any Retry-After hint the
+// fair admission policy shipped — but never rebinds (the binding is
+// healthy; the server is just full) and never counts toward the
+// rebind-forcing timeout streak.
 func (i *Instance) rpcRetryT(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time) ([]byte, error) {
 	attempts := i.opts.RetryAttempts
 	if attempts < 1 {
 		attempts = 1
 	}
-	var seq uint64
+	var meta *callMeta
 	if fn >= FirstUserFunc && dst != i.node.ID {
-		seq = i.seqID()
+		meta = &callMeta{seq: i.seqID()}
 	}
 	var lastErr error
 	timeouts := 0
@@ -50,11 +55,14 @@ func (i *Instance) rpcRetryT(p *simtime.Proc, dst, fn int, input []byte, maxRepl
 			return nil, ErrNodeDead
 		}
 		epochBefore := i.epoch
-		out, err := i.rpcInternalFull(p, dst, fn, input, maxReply, pri, timeout, false, seq)
+		out, err := i.rpcInternalFull(p, dst, fn, input, maxReply, pri, timeout, false, meta)
 		if err == nil {
 			return out, nil
 		}
 		if !retryable(err) {
+			if errors.Is(err, ErrMaybeExecuted) {
+				i.obsReg().Add("lite.retry.maybe_executed", 1)
+			}
 			return nil, err
 		}
 		lastErr = err
@@ -62,24 +70,37 @@ func (i *Instance) rpcRetryT(p *simtime.Proc, dst, fn int, input []byte, maxRepl
 			break
 		}
 		i.obsReg().Add("lite.retry.attempts", 1)
+		delay := i.retryDelay(p, a)
 		if errors.Is(err, ErrOverloaded) {
 			i.obsReg().Add("lite.retry.overloads", 1)
 			timeouts = 0
+			var oe *OverloadError
+			if errors.As(err, &oe) && oe.RetryAfter > delay {
+				// The server estimated when this client's share frees
+				// up; waiting less than that just buys another shed.
+				i.obsReg().Add("lite.retry.hint_waits", 1)
+				delay = oe.RetryAfter
+			}
 		} else {
 			timeouts++
+			if meta != nil {
+				meta.attempt++
+			}
 			if i.epoch != epochBefore || timeouts >= 2 {
 				i.obsReg().Add("lite.retry.rebinds", 1)
 				i.resetBinding(dst, fn)
 			}
 		}
-		p.Sleep(i.retryDelay(p, a))
+		p.Sleep(delay)
 	}
 	return nil, lastErr
 }
 
 // retryable reports whether an error is worth another attempt.
 // ErrNodeDead is terminal; name-service and permission errors are
-// definitive answers, not transport failures.
+// definitive answers, not transport failures — and so is
+// ErrMaybeExecuted, which by construction can never become
+// unambiguous by retrying.
 func retryable(err error) bool {
 	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrOverloaded)
 }

@@ -28,10 +28,11 @@ const (
 // slot alignment (the fine alignment is what makes LITE's rings
 // space-efficient in Figure 12).
 const (
-	tagRPCReq  = 1
-	tagRPCRep  = 2
-	tagHeadUpd = 3
-	tagRPCShed = 4 // admission control: call shed, token in the low 28 bits
+	tagRPCReq   = 1
+	tagRPCRep   = 2
+	tagHeadUpd  = 3
+	tagRPCShed  = 4 // admission control: call shed, token in the low 28 bits
+	tagRPCMaybe = 5 // dedup ambiguity: retry crossed a server restart
 
 	// MaxFunc is the exclusive upper bound on RPC function IDs.
 	MaxFunc = 32
@@ -73,6 +74,8 @@ func encodeReplyImm(token uint32) uint32 { return uint32(tagRPCRep)<<28 | token&
 
 func encodeShedImm(token uint32) uint32 { return uint32(tagRPCShed)<<28 | token&0x0fffffff }
 
+func encodeMaybeImm(token uint32) uint32 { return uint32(tagRPCMaybe)<<28 | token&0x0fffffff }
+
 // Ring message header layout (all little endian):
 //
 //	[0:4]   total payload length (header + input), pre-alignment
@@ -80,14 +83,23 @@ func encodeShedImm(token uint32) uint32 { return uint32(tagRPCShed)<<28 | token&
 //	[8:16]  reply physical address on the caller's node
 //	[16:20] input length
 //	[20:28] client sequence number (0 = unsequenced, no dedup)
-//	[28:..] input bytes
+//	[28:36] server boot count the logical call was first posted to
+//	[36:38] prior ambiguous (timed-out) attempts of this logical call
+//	[38:40] reserved
+//	[40:..] input bytes
 //
 // The sequence number identifies a logical call across retry attempts:
 // a timed-out RPC may have executed server-side with only the reply
 // lost, so the server keeps a small per-(client, function) window of
 // recently seen sequence numbers and answers duplicates from it
 // instead of running the handler twice.
-const ringHdr = 28
+//
+// The boot stamp closes that window's restart gap: the window dies
+// with the server's rings on a crash, so a retry that crosses a server
+// restart would otherwise re-execute silently. A retry (attempt > 0)
+// carrying a boot stamp older than the serving ring's is answered with
+// tagRPCMaybe — the typed "may have executed" — instead of being run.
+const ringHdr = 40
 
 // bindKey identifies an RPC binding: a (peer node, function) pair.
 type bindKey struct {
@@ -107,6 +119,11 @@ type binding struct {
 	tail     int64 // monotonic bytes written (incl. wrap padding)
 	head     int64 // monotonic bytes the server reported consumed
 	space    simtime.Cond
+	// srvBoot is the server incarnation that negotiated this ring
+	// (returned by copBind; zero for boot-time bindings). First
+	// attempts of retried calls are stamped with it so the server can
+	// detect a retry that crossed its own restart.
+	srvBoot uint64
 	// dead marks a binding severed by a node crash; waiters abort.
 	dead bool
 }
@@ -118,6 +135,12 @@ type srvRing struct {
 	pa        hostmem.PAddr
 	size      int64
 	headLocal int64 // monotonic bytes consumed (incl. wrap padding)
+	// boot is the serving instance's incarnation when the ring (and
+	// with it the dedup window below) was created — the window's
+	// epoch stamp. Non-control rings never survive a restart, so a
+	// frame stamped with an older boot is a retry whose history this
+	// window cannot hold.
+	boot uint64
 
 	// dedup is the duplicate-suppression window for retried calls: the
 	// last dedupWindow sequence numbers seen from this (client, fn),
@@ -166,6 +189,20 @@ func (r *srvRing) dedupInsert(e *dedupEntry) {
 	}
 }
 
+// callMeta identifies one logical retried call across its attempts:
+// the client sequence number for the server's dedup window, the count
+// of prior attempts that ended ambiguously (timed out — an overload
+// shed is a definitive "did not execute" and does not count), and the
+// server incarnation the call was first posted to. The boot stamp is
+// (re)captured on every attempt until one turns ambiguous, then
+// frozen: from that point a differing server incarnation means the
+// window that could have remembered the call is gone.
+type callMeta struct {
+	seq     uint64
+	attempt uint16
+	boot    uint64
+}
+
 // rpcFunc is a registered RPC function. Application functions queue
 // calls for LT_recvRPC; system functions carry a handler executed by
 // the kernel worker pool.
@@ -192,6 +229,13 @@ type Call struct {
 	// ded points at this call's dedup-window entry (sequenced calls
 	// only); the reply is cached there for duplicate replay.
 	ded *dedupEntry
+
+	// admCost is the cost the fair-admission policy charged for this
+	// call, released when the reply posts; recvAt stamps when a server
+	// thread dequeued it, so the reply can feed the observed service
+	// time back into the policy's EWMA.
+	admCost int64
+	recvAt  simtime.Time
 
 	// Node-local fast path.
 	local      bool
@@ -224,8 +268,9 @@ type pendingCall struct {
 // thread's per-client doorbell batching and its ordering guarantee.
 const (
 	updCredit = iota // ring head credit (the original head update)
-	updShed          // admission control: zero-length shed notification
+	updShed          // admission control: shed notification (+ optional 8-byte Retry-After hint)
 	updReply         // cached-reply replay for a deduplicated retry
+	updMaybe         // dedup ambiguity: retry crossed a server restart
 )
 
 // headUpdate is queued to the background header-update thread.
@@ -235,10 +280,11 @@ type headUpdate struct {
 	fn     int
 	delta  int64 // updCredit: bytes consumed
 
-	// updShed / updReply coordinates of the attempt being answered.
+	// updShed / updReply / updMaybe coordinates of the attempt being
+	// answered.
 	token   uint32
 	replyPA hostmem.PAddr
-	reply   []byte // updReply: cached output
+	reply   []byte // updReply: cached output; updShed: 8-byte Retry-After hint
 }
 
 // Message is a unidirectional LT_send message.
@@ -315,9 +361,9 @@ func (i *Instance) getBinding(p *simtime.Proc, dst, fn int, pri Priority) (*bind
 		i.bindSetup = make(map[bindKey]*bindSetup)
 	}
 	i.bindSetup[key] = st
-	pa, size, err := i.ctlBind(p, dst, fn, pri)
+	pa, size, boot, err := i.ctlBind(p, dst, fn, pri)
 	if err == nil {
-		i.bindings[key] = &binding{dst: dst, fn: fn, ringPA: pa, ringSize: size}
+		i.bindings[key] = &binding{dst: dst, fn: fn, ringPA: pa, ringSize: size, srvBoot: boot}
 	}
 	st.err = err
 	st.done = true
@@ -539,7 +585,19 @@ func (i *Instance) postShared(p *simtime.Proc, dst int, pri Priority, wrs []rnic
 // never polled; reply or timeout detects failure). Frames that fit
 // Params.MaxInline travel inline in the WQE and skip the payload DMA
 // stage.
-func (i *Instance) postToRing(p *simtime.Proc, b *binding, fn int, token uint32, replyPA hostmem.PAddr, input []byte, pri Priority, probe bool, seq uint64) error {
+func (i *Instance) postToRing(p *simtime.Proc, b *binding, fn int, token uint32, replyPA hostmem.PAddr, input []byte, pri Priority, probe bool, meta *callMeta) error {
+	var seq, boot uint64
+	var attempt uint16
+	if meta != nil {
+		if meta.attempt == 0 {
+			// Until an attempt ends ambiguously the logical call is
+			// (re)stamped with the current server incarnation; after
+			// that the stamp freezes so a restart in between is
+			// detectable server-side.
+			meta.boot = b.srvBoot
+		}
+		seq, boot, attempt = meta.seq, meta.boot, meta.attempt
+	}
 	need := int64(ringHdr + len(input))
 	aligned := (need + ringAlign - 1) &^ (ringAlign - 1)
 	off, err := i.reserveRing(p, b, aligned, probe)
@@ -553,6 +611,9 @@ func (i *Instance) postToRing(p *simtime.Proc, b *binding, fn int, token uint32,
 	binary.LittleEndian.PutUint64(msg[8:], uint64(replyPA))
 	binary.LittleEndian.PutUint32(msg[16:], uint32(len(input)))
 	binary.LittleEndian.PutUint64(msg[20:], seq)
+	binary.LittleEndian.PutUint64(msg[28:], boot)
+	binary.LittleEndian.PutUint16(msg[36:], attempt)
+	binary.LittleEndian.PutUint16(msg[38:], 0)
 	copy(msg[ringHdr:], input)
 
 	i.qos.throttle(p, pri, need)
@@ -585,21 +646,22 @@ func (i *Instance) rpcInternal(p *simtime.Proc, dst, fn int, input []byte, maxRe
 // means wait forever (used by locks and barriers, whose replies are
 // intentionally withheld until the event occurs).
 func (i *Instance) rpcInternalT(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time) ([]byte, error) {
-	return i.rpcInternalFull(p, dst, fn, input, maxReply, pri, timeout, false, 0)
+	return i.rpcInternalFull(p, dst, fn, input, maxReply, pri, timeout, false, nil)
 }
 
 // rpcInternalProbe is rpcInternalT with the probe flag exposed:
 // keepalives may target declared-dead nodes, since a successful probe
 // is exactly what revives one.
 func (i *Instance) rpcInternalProbe(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time, probe bool) ([]byte, error) {
-	return i.rpcInternalFull(p, dst, fn, input, maxReply, pri, timeout, probe, 0)
+	return i.rpcInternalFull(p, dst, fn, input, maxReply, pri, timeout, probe, nil)
 }
 
-// rpcInternalFull is the complete LT_RPC entry point. seq, when
-// nonzero, is the client sequence number identifying this logical call
-// across retry attempts; the server's dedup window uses it to suppress
-// duplicate execution after a lost reply.
-func (i *Instance) rpcInternalFull(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time, probe bool, seq uint64) ([]byte, error) {
+// rpcInternalFull is the complete LT_RPC entry point. meta, when
+// non-nil, identifies this logical call across retry attempts (client
+// sequence number, ambiguous-attempt count, server boot stamp); the
+// server's dedup window uses it to suppress duplicate execution after
+// a lost reply and to detect retries that crossed its restart.
+func (i *Instance) rpcInternalFull(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time, probe bool, meta *callMeta) ([]byte, error) {
 	reg := i.obsReg()
 	parent := procSpan(p)
 	t0 := p.Now()
@@ -621,7 +683,7 @@ func (i *Instance) rpcInternalFull(p *simtime.Proc, dst, fn int, input []byte, m
 	i.pending[token] = pc
 
 	post := reg.StartSpan(p.Now(), "lite.rpc.post", parent)
-	err = i.postToRing(p, b, fn, token, respPA, input, pri, probe, seq)
+	err = i.postToRing(p, b, fn, token, respPA, input, pri, probe, meta)
 	post.Done(p.Now())
 	if err != nil {
 		delete(i.pending, token)
@@ -719,6 +781,9 @@ func (i *Instance) recvRPCInternal(p *simtime.Proc, fn int) (*Call, error) {
 		f.queue = f.queue[1:]
 	}
 	i.memcpyCost(p, int64(len(call.Input)))
+	// Stamp the dequeue instant: reply time minus this is the observed
+	// handler service time the fair-admission EWMA learns from.
+	call.recvAt = p.Now()
 	if !call.local {
 		// Advance the ring header; the new value ships from the
 		// background thread (Figure 9, step f).
@@ -749,6 +814,15 @@ func (i *Instance) replyRPCInternal(p *simtime.Proc, c *Call, output []byte, pri
 		c.ded.call = nil
 		c.ded.reply = append([]byte(nil), output...)
 	}
+	// Feed the observed service time back into the admission cost
+	// model and release the call's admitted cost. Pure integer
+	// bookkeeping — no virtual time moves, so a depth-only or
+	// admission-free timeline is unperturbed.
+	if c.recvAt > 0 {
+		i.admServiceObserve(c.Func, p.Now()-c.recvAt)
+		c.recvAt = 0
+	}
+	i.admRelease(c)
 	post := reg.StartSpan(p.Now(), "lite.rpc.post", parent)
 	i.qos.throttle(p, pri, int64(len(output)))
 	err := i.postShared(p, c.Src, pri, []rnic.WR{{
@@ -781,7 +855,7 @@ func (i *Instance) sendInternal(p *simtime.Proc, dst int, data []byte, pri Prior
 	if err != nil {
 		return err
 	}
-	return i.postToRing(p, b, funcMsg, 0, 0, data, pri, false, 0)
+	return i.postToRing(p, b, funcMsg, 0, 0, data, pri, false, nil)
 }
 
 // recvInternal implements the receive side of LT_send.
@@ -910,6 +984,33 @@ func (i *Instance) handleRecvCQE(p *simtime.Proc, cqe rnic.CQE) {
 				return
 			}
 			pc.err = ErrOverloaded
+			if cqe.Len >= 8 {
+				// The fair policy shipped a Retry-After hint in the
+				// reply buffer; surface it through the typed error so
+				// the retry layer can honor it.
+				var buf [8]byte
+				if i.node.Mem.Read(pc.respPA, buf[:]) == nil {
+					if h := simtime.Time(binary.LittleEndian.Uint64(buf[:])); h > 0 {
+						pc.err = &OverloadError{RetryAfter: h}
+					}
+				}
+			}
+			pc.done = true
+			pc.cond.Broadcast(i.cls.Env)
+		}
+	case tagRPCMaybe:
+		token := cqe.Imm & 0x0fffffff
+		if pc, ok := i.pending[token]; ok {
+			delete(i.pending, token)
+			if pc.abandoned {
+				// The ambiguity notice raced with the waiter's timeout;
+				// no reply will ever land, so free the quarantined
+				// buffer.
+				i.scratch.release(token)
+				return
+			}
+			i.obsReg().Add("lite.rpc.maybe_executed", 1)
+			pc.err = ErrMaybeExecuted
 			pc.done = true
 			pc.cond.Broadcast(i.cls.Env)
 		}
@@ -933,6 +1034,8 @@ func (i *Instance) handleRPCReq(p *simtime.Proc, src, fn int, off int64) {
 	replyPA := hostmem.PAddr(binary.LittleEndian.Uint64(hdr[8:]))
 	inLen := int64(binary.LittleEndian.Uint32(hdr[16:]))
 	seq := binary.LittleEndian.Uint64(hdr[20:])
+	boot := binary.LittleEndian.Uint64(hdr[28:])
+	attempt := binary.LittleEndian.Uint16(hdr[36:])
 	if inLen < 0 || inLen > total-ringHdr {
 		return
 	}
@@ -977,13 +1080,48 @@ func (i *Instance) handleRPCReq(p *simtime.Proc, src, fn int, off int64) {
 			}
 			return
 		}
+		if attempt > 0 && boot != ring.boot {
+			// A retry of a timed-out call whose first attempt targeted
+			// an earlier incarnation of this server: the dedup window
+			// that could have remembered it died with that
+			// incarnation's rings, so whether it executed is
+			// unknowable here. Answer with the typed ambiguity notice
+			// instead of silently running the handler a second time.
+			i.obsReg().Add("lite.rpc.dedup_ambiguous", 1)
+			i.queueHeadUpdate(p, src, fn, delta)
+			i.queueNotify(p, headUpdate{kind: updMaybe, client: src, fn: fn, token: token})
+			return
+		}
 	}
 	if fn >= FirstUserFunc {
 		reg := i.obsReg()
 		reg.Observe("lite.rpc.queue_depth", simtime.Time(len(f.queue)))
 		if hw := i.opts.AdmissionHighWater; hw > 0 {
 			p.Work(i.cfg.AdmissionCheck)
-			if len(f.queue) >= hw {
+			if i.opts.FairAdmission {
+				p.Work(i.cfg.FairAdmissionCheck)
+				cost, hint, ok := i.admFor(fn).admit(src, inLen, hw, len(f.queue))
+				if !ok {
+					// Shed the over-share client: credit the frame and
+					// notify fast, shipping the Retry-After estimate in
+					// the call's reply buffer (every reply buffer owns
+					// at least a cache line, so the 8-byte hint always
+					// has a landing zone).
+					reg.Add("lite.rpc.shed", 1)
+					reg.Add("lite.rpc.shed_fair", 1)
+					i.queueHeadUpdate(p, src, fn, delta)
+					u := headUpdate{kind: updShed, client: src, fn: fn, token: token}
+					if hint > 0 {
+						buf := make([]byte, 8)
+						binary.LittleEndian.PutUint64(buf, uint64(hint))
+						u.reply = buf
+						u.replyPA = replyPA
+					}
+					i.queueNotify(p, u)
+					return
+				}
+				call.admCost = cost
+			} else if len(f.queue) >= hw {
 				// Shed: credit the frame and tell the client fast with a
 				// zero-length write-imm, instead of letting it burn a
 				// full RPC timeout against a queue that cannot drain.
@@ -1034,8 +1172,10 @@ func (i *Instance) queueNotify(p *simtime.Proc, u headUpdate) {
 const headUpdBatchMax = 16
 
 // notifyWR builds the write-imm for one queued notification: a
-// zero-length ring credit, a zero-length shed notice, or a cached
-// reply replayed into the retrying attempt's response buffer.
+// zero-length ring credit, a shed notice (zero-length, or carrying an
+// 8-byte Retry-After hint under the fair policy), a zero-length
+// restart-ambiguity notice, or a cached reply replayed into the
+// retrying attempt's response buffer.
 func (i *Instance) notifyWR(u headUpdate) rnic.WR {
 	wr := rnic.WR{
 		Kind:      rnic.OpWriteImm,
@@ -1049,6 +1189,16 @@ func (i *Instance) notifyWR(u headUpdate) rnic.WR {
 	switch u.kind {
 	case updShed:
 		wr.Imm = encodeShedImm(u.token)
+		if len(u.reply) > 0 {
+			// Fair-admission shed with a Retry-After hint: the 8 bytes
+			// land in the call's reply buffer ahead of the IMM.
+			wr.Inline = i.wantInline(int64(len(u.reply)))
+			wr.LocalBuf = u.reply
+			wr.Len = int64(len(u.reply))
+			wr.RemoteOff = int64(u.replyPA)
+		}
+	case updMaybe:
+		wr.Imm = encodeMaybeImm(u.token)
 	case updReply:
 		wr.Inline = i.wantInline(int64(len(u.reply)))
 		wr.LocalBuf = u.reply

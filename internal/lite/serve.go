@@ -26,6 +26,22 @@ func (i *Instance) ServeRPC(fn, workers int, handler func(p *simtime.Proc, c *Ca
 	if err := i.RegisterRPC(fn); err != nil {
 		return err
 	}
+	i.spawnServePool(fn, workers, handler)
+	// The workers are daemons of the current incarnation and die with
+	// a crash, but the registration (i.funcs) survives a restart —
+	// re-arm the pool when the node comes back so a restarted server
+	// resumes serving. Runs after the instance's own restart hook
+	// (registration order), so state is already reset.
+	i.cls.OnNodeUp(func(p *simtime.Proc, node int) {
+		if node == i.node.ID {
+			i.spawnServePool(fn, workers, handler)
+		}
+	})
+	return nil
+}
+
+// spawnServePool starts one incarnation's worth of server threads.
+func (i *Instance) spawnServePool(fn, workers int, handler func(p *simtime.Proc, c *Call) []byte) {
 	for w := 0; w < workers; w++ {
 		i.cls.GoDaemonOn(i.node.ID, fmt.Sprintf("lite-serve-%d", fn), func(p *simtime.Proc) {
 			c := i.KernelClient()
@@ -41,5 +57,4 @@ func (i *Instance) ServeRPC(fn, workers int, handler func(p *simtime.Proc, c *Ca
 			}
 		})
 	}
-	return nil
 }

@@ -117,6 +117,11 @@ type Config struct {
 	// admission-control gate (queue-depth load, high-water compare),
 	// charged only when a high-water mark is configured.
 	AdmissionCheck time.Duration
+	// FairAdmissionCheck is the extra per-request cost of the
+	// cost-aware fair admission policy (per-client cost lookup, EWMA
+	// update, deficit-round-robin accounting), charged on top of
+	// AdmissionCheck when Options.FairAdmission is enabled.
+	FairAdmissionCheck time.Duration
 	// AdaptivePollWindow is how long the LITE user library busy-checks
 	// the shared completion page before sleeping (5.2's adaptive
 	// thread model).
@@ -179,6 +184,7 @@ func Default() Config {
 		KernelDispatch:     60 * time.Nanosecond,
 		LITECheck:          120 * time.Nanosecond,
 		AdmissionCheck:     20 * time.Nanosecond,
+		FairAdmissionCheck: 60 * time.Nanosecond,
 		AdaptivePollWindow: 8 * time.Microsecond,
 		WakeupLatency:      1500 * time.Nanosecond,
 
