@@ -17,6 +17,13 @@
 //     later passed to a sort.* call in the same function are fine —
 //     sorting launders the order — as is ranging purely for membership
 //     or independent per-entry updates.
+//   - under internal/lite only: ANY map iteration inside a
+//     state-serialization function (one named encode*/serialize*/
+//     marshal*). Serialized state crosses nodes — migration transfers,
+//     membership broadcasts — where a randomized order does not just
+//     perturb one run but desynchronizes the replicas comparing it, so
+//     these paths must walk sorted key slices even when the loop body
+//     looks order-safe today.
 //
 // Import renames are honoured: `import t "time"` followed by t.Now()
 // is still flagged, and a local variable named "time" shadowing the
@@ -143,8 +150,18 @@ func lintFile(path string) ([]finding, error) {
 			return true
 		})
 	}
-	findings = append(findings, lintMapRange(fset, file)...)
+	strictSerial := strings.Contains(filepath.ToSlash(path), "internal/lite/")
+	findings = append(findings, lintMapRange(fset, file, strictSerial)...)
 	return findings, nil
+}
+
+// serializationFunc reports whether a function name marks a
+// state-serialization path (the strict map-range rule applies there).
+func serializationFunc(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "encode") ||
+		strings.HasPrefix(lower, "serialize") ||
+		strings.HasPrefix(lower, "marshal")
 }
 
 // mapFields collects the fields of map type declared by struct types in
@@ -298,7 +315,7 @@ var orderSinks = map[string]bool{
 // append into a collector declared outside the loop (unless the same
 // function later sorts that collector), or a direct write to a
 // builder/encoder sink from inside the loop body.
-func lintMapRange(fset *token.FileSet, file *ast.File) []finding {
+func lintMapRange(fset *token.FileSet, file *ast.File, strictSerial bool) []finding {
 	var findings []finding
 	structFields := mapFields(file)
 	for _, decl := range file.Decls {
@@ -307,6 +324,24 @@ func lintMapRange(fset *token.FileSet, file *ast.File) []finding {
 			continue
 		}
 		exprs := collectMapExprs(fn, structFields)
+		if strictSerial && serializationFunc(fn.Name.Name) {
+			ast.Inspect(fn, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				path := exprPath(rng.X)
+				if path == "" || !(exprs.names[path] || exprs.fields[path]) {
+					return true
+				}
+				findings = append(findings, finding{
+					pos: fset.Position(rng.Pos()),
+					msg: fmt.Sprintf("range over map %q in serialization function %q: serialized state crosses nodes — walk a sorted key slice instead", path, fn.Name.Name),
+				})
+				return true
+			})
+			continue
+		}
 
 		// sortedVars are identifiers passed to any sort.* call anywhere
 		// in this function: collect-then-sort launders map order.

@@ -57,6 +57,13 @@ type Store struct {
 	dep     *lite.Deployment
 	servers []int
 	id      int
+	threads int
+	// isServer marks the nodes currently serving a shard (it changes
+	// when DrainShard re-homes one); srvs holds their live server
+	// structs so a migration can reach the source's index.
+	isServer map[int]bool
+	srvs     map[int]*server
+	gen      int
 }
 
 var storeSeq int
@@ -67,32 +74,44 @@ var storeSeq int
 // died with it — and its serving threads are re-armed automatically.
 func Start(cls *cluster.Cluster, dep *lite.Deployment, servers []int, threads int) (*Store, error) {
 	storeSeq++
-	s := &Store{cls: cls, dep: dep, servers: servers, id: storeSeq}
-	isServer := make(map[int]bool, len(servers))
-	gen := 0
-	spawn := func(node int) {
-		// Each incarnation gets its own generation number so the value
-		// LMR names it allocates never collide with names its previous
-		// life left behind in the manager directory.
-		gen++
-		srv := &server{store: s, node: node, gen: gen, index: make(map[string]*entry)}
-		for th := 0; th < threads; th++ {
-			cls.GoDaemonOn(node, "kv-server", func(p *simtime.Proc) { srv.loop(p) })
-		}
+	s := &Store{
+		cls: cls, dep: dep, servers: servers, id: storeSeq,
+		threads:  threads,
+		isServer: make(map[int]bool, len(servers)),
+		srvs:     make(map[int]*server, len(servers)),
 	}
 	for _, node := range servers {
-		isServer[node] = true
+		s.isServer[node] = true
 		if err := dep.Instance(node).RegisterRPC(kvFn); err != nil {
 			return nil, err
 		}
-		spawn(node)
+		s.spawn(node)
 	}
 	cls.OnNodeUp(func(p *simtime.Proc, node int) {
-		if isServer[node] {
-			spawn(node)
+		if s.isServer[node] {
+			s.spawn(node)
 		}
 	})
 	return s, nil
+}
+
+// spawn stands up a fresh (empty-index) server incarnation on node and
+// arms its RPC threads.
+func (s *Store) spawn(node int) {
+	// Each incarnation gets its own generation number so the value
+	// LMR names it allocates never collide with names its previous
+	// life left behind in the manager directory.
+	s.gen++
+	srv := &server{store: s, node: node, gen: s.gen, index: make(map[string]*entry)}
+	s.srvs[node] = srv
+	s.armThreads(srv)
+}
+
+// armThreads starts the RPC serving threads for one server struct.
+func (s *Store) armThreads(srv *server) {
+	for th := 0; th < s.threads; th++ {
+		s.cls.GoDaemonOn(srv.node, "kv-server", func(p *simtime.Proc) { srv.loop(p) })
+	}
 }
 
 // hashKey is FNV-1a over the key, the partitioning hash.

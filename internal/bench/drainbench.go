@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"lite/internal/apps/kvstore"
+	"lite/internal/detrand"
+	"lite/internal/lite"
+	"lite/internal/load"
+	"lite/internal/obs"
+	"lite/internal/simtime"
+)
+
+func init() {
+	register("drain", "Elasticity: kvstore tail latency during live shard migration vs crash-failover", drainExp)
+}
+
+// The drain experiment puts the elasticity claim on the open-loop tail
+// harness: a two-shard kvstore serves a Poisson put/get mix while one
+// shard leaves node 1 — either gracefully (DrainShard live-migrates it
+// to a fresh node, in-flight calls complete, stale traffic bounces to
+// the new home) or the way the pre-migration system did it (the node
+// crashes; clients discover the death through heartbeats, the keys are
+// lost and re-created on the survivors). Latency is windowed around
+// the event: live migration must keep every call succeeding with p99
+// within a small factor of steady state, while crash-failover eats a
+// detection-timeout outage and a wave of failed calls.
+const (
+	drainNodes   = 5 // 0, 4 clients; 1, 2 shards; 3 migration target
+	drainKeys    = 64
+	drainRate    = 0.1 // per client node, req/us
+	drainReqs    = 400 // per client node
+	drainSeed    = 77
+	drainStart   = 300 * time.Microsecond
+	drainEventAt = 1500 * time.Microsecond
+	drainWindow  = 1000 * time.Microsecond // "during" window after the event
+)
+
+// drainRec is one issued request's fate.
+type drainRec struct {
+	at  simtime.Time
+	lat simtime.Time
+	ok  bool
+}
+
+// runDrain drives the workload once. With migrate true the shard at
+// node 1 live-migrates to node 3 at drainEventAt; otherwise node 1
+// crashes there.
+func runDrain(migrate bool) ([]drainRec, error) {
+	opts := lite.DefaultOptions()
+	opts.HeartbeatInterval = 100 * time.Microsecond
+	opts.HeartbeatTimeout = 300 * time.Microsecond
+	cls, dep, err := newLITEOpts(drainNodes, opts)
+	if err != nil {
+		return nil, err
+	}
+	s, err := kvstore.Start(cls, dep, []int{1, 2}, 2)
+	if err != nil {
+		return nil, err
+	}
+	key := func(k uint64) string { return fmt.Sprintf("key-%02d", k) }
+	val := func(k uint64) []byte { return []byte(fmt.Sprintf("value-%02d", k)) }
+
+	clientNodes := []int{0, 4}
+	recs := make([][]drainRec, len(clientNodes))
+	for ci, node := range clientNodes {
+		ci, node := ci, node
+		sched := load.Poisson(drainSeed+uint64(ci), drainRate, drainReqs, simtime.Time(drainStart))
+		z := detrand.NewZipf(drainSeed+100*uint64(ci), 1.1, drainKeys)
+		ops := make([]uint64, len(sched))
+		for k := range ops {
+			ops[k] = z.Next()
+		}
+		cls.GoOn(node, "drain-client", func(p *simtime.Proc) {
+			k := s.NewClient(node)
+			// Preload this client's half of the keyspace before the
+			// schedule opens, so steady-state gets never miss.
+			for i := uint64(ci); i < drainKeys; i += 2 {
+				if err := k.Put(p, key(i), val(i)); err != nil {
+					return
+				}
+			}
+			var wg simtime.WaitGroup
+			wg.Add(len(sched))
+			out := make([]drainRec, len(sched))
+			for idx, at := range sched {
+				if at > p.Now() {
+					p.SleepUntil(at)
+				}
+				idx := idx
+				cls.GoOn(node, "drain-req", func(q *simtime.Proc) {
+					defer wg.Done(q.Env())
+					t0 := q.Now()
+					kk := ops[idx]
+					var err error
+					if idx%2 == 0 {
+						err = k.Put(q, key(kk), val(kk))
+					} else {
+						_, err = k.Get(q, key(kk))
+					}
+					out[idx] = drainRec{at: t0, lat: q.Now() - t0, ok: err == nil}
+				})
+			}
+			wg.Wait(p)
+			recs[ci] = out
+		})
+	}
+
+	if migrate {
+		cls.GoOn(1, "drain-driver", func(p *simtime.Proc) {
+			p.SleepUntil(simtime.Time(drainEventAt))
+			_ = s.DrainShard(p, 1, 3)
+		})
+	} else {
+		cls.GoOn(0, "crash-driver", func(p *simtime.Proc) {
+			p.SleepUntil(simtime.Time(drainEventAt))
+			cls.CrashNode(p, 1)
+		})
+	}
+	if err := cls.Run(); err != nil {
+		return nil, err
+	}
+	var all []drainRec
+	for _, r := range recs {
+		all = append(all, r...)
+	}
+	return all, nil
+}
+
+// drainSummary is one window's digest.
+type drainSummary struct {
+	name       string
+	issued, ok int
+	p50, p99   simtime.Time
+}
+
+// drainWindows buckets records into steady / during / after around the
+// event instant and summarizes each bucket.
+func drainWindows(all []drainRec) []drainSummary {
+	type bucket struct {
+		name     string
+		from, to simtime.Time
+	}
+	ev := simtime.Time(drainEventAt)
+	buckets := []bucket{
+		{"steady", 0, ev},
+		{"during", ev, ev + simtime.Time(drainWindow)},
+		{"after", ev + simtime.Time(drainWindow), 1 << 62},
+	}
+	var out []drainSummary
+	for _, b := range buckets {
+		h := &obs.Histogram{}
+		s := drainSummary{name: b.name}
+		for _, r := range all {
+			if r.at < b.from || r.at >= b.to {
+				continue
+			}
+			s.issued++
+			if r.ok {
+				s.ok++
+				h.Record(r.lat)
+			}
+		}
+		s.p50, s.p99 = h.Quantile(0.5), h.Quantile(0.99)
+		out = append(out, s)
+	}
+	return out
+}
+
+func drainExp() (*Table, error) {
+	t := &Table{
+		ID:     "drain",
+		Title:  "Put/get tail latency around a shard leaving node 1: live migration (DrainShard) vs crash-failover",
+		Header: []string{"Mode", "Window", "Issued", "OK", "Failed", "p50 (us)", "p99 (us)"},
+	}
+	for _, migrate := range []bool{true, false} {
+		all, err := runDrain(migrate)
+		if err != nil {
+			return nil, err
+		}
+		mode := "crash-failover"
+		if migrate {
+			mode = "live-migration"
+		}
+		var steady, during drainSummary
+		for _, w := range drainWindows(all) {
+			t.AddRow(mode, w.name, fmt.Sprintf("%d", w.issued), fmt.Sprintf("%d", w.ok),
+				fmt.Sprintf("%d", w.issued-w.ok), us(w.p50), us(w.p99))
+			switch w.name {
+			case "steady":
+				steady = w
+			case "during":
+				during = w
+			}
+		}
+		ratio := 0.0
+		if steady.p99 > 0 {
+			ratio = float64(during.p99) / float64(steady.p99)
+		}
+		t.Note("%s: during-window p99 is %.2fx steady, %d of %d calls failed in the window",
+			mode, ratio, during.issued-during.ok, during.issued)
+	}
+	t.Note("live migration keeps every call succeeding (held calls complete, stale traffic bounces to the new home); crash-failover fails calls until heartbeats declare the node dead and keys are re-created")
+	return t, nil
+}

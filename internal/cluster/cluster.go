@@ -52,6 +52,10 @@ type Cluster struct {
 	// daemons, fail pending work, and rejoin on restart.
 	onDown []func(p *simtime.Proc, node int)
 	onUp   []func(p *simtime.Proc, node int)
+	// onEvent receives named application events (see Announce). The
+	// fault injector listens here to trigger crashes at semantic
+	// instants ("the migration just fenced") rather than wall offsets.
+	onEvent []func(p *simtime.Proc, name string)
 }
 
 // New builds a cluster of n nodes with memPerNode bytes of physical
@@ -151,6 +155,24 @@ func (c *Cluster) OnNodeDown(fn func(p *simtime.Proc, node int)) {
 // fabric port is restored.
 func (c *Cluster) OnNodeUp(fn func(p *simtime.Proc, node int)) {
 	c.onUp = append(c.onUp, fn)
+}
+
+// OnEvent registers a hook invoked by Announce. Hooks run in
+// registration order in the announcing process's context, so anything
+// a hook does (including crashing the announcing node) lands at a
+// deterministic point in the announcing code path.
+func (c *Cluster) OnEvent(fn func(p *simtime.Proc, name string)) {
+	c.onEvent = append(c.onEvent, fn)
+}
+
+// Announce publishes a named event on the cluster's event bus.
+// Software layers call it at semantically meaningful instants (e.g.
+// "lite.migrate.fence") so test harnesses can inject faults exactly
+// there. With no listeners it is free: no virtual time passes.
+func (c *Cluster) Announce(p *simtime.Proc, name string) {
+	for _, fn := range c.onEvent {
+		fn(p, name)
+	}
 }
 
 // NodeDown reports whether the node is currently crashed.

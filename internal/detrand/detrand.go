@@ -26,6 +26,18 @@ func (r *RNG) Uint64() uint64 {
 	return x ^ (x >> 31)
 }
 
+// Mix64 is the stateless splitmix64 finalizer: a bijective hash of x.
+// Code that needs one deterministic draw from ambient coordinates
+// (virtual time, node id, attempt number) uses this instead of
+// constructing a throwaway RNG; it is bit-identical to one Uint64 call
+// on an RNG whose pre-increment state is x.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Float64 returns a uniform value in [0, 1).
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / float64(1<<53)

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"lite/internal/cluster"
+	"lite/internal/detrand"
 	"lite/internal/simtime"
 )
 
@@ -63,11 +64,24 @@ type Event struct {
 	Rate     float64      // LossRate
 }
 
+// Trigger is an event-driven fault: the node crashes the instant the
+// named cluster event is announced (first occurrence only), which pins
+// faults to exact protocol phases — "crash the source at the commit
+// point" — instead of guessing wall-clock offsets.
+type Trigger struct {
+	Event string
+	Node  int
+	// RestartAfter, when nonzero, brings the node back this long after
+	// the triggered crash.
+	RestartAfter simtime.Time
+}
+
 // Plan is a deterministic fault schedule. Seed drives the injector's
 // probabilistic-loss RNG; the event list is explicit.
 type Plan struct {
-	Seed   uint64
-	Events []Event
+	Seed     uint64
+	Events   []Event
+	Triggers []Trigger
 }
 
 // NewPlan returns an empty plan with the given loss-RNG seed.
@@ -115,6 +129,14 @@ func (pl *Plan) LossDuring(rate float64, from, to simtime.Time) *Plan {
 	return pl
 }
 
+// CrashOnEvent schedules a crash of node at the first announcement of
+// the named cluster event, optionally restarting it restartAfter later
+// (zero means no restart).
+func (pl *Plan) CrashOnEvent(event string, node int, restartAfter simtime.Time) *Plan {
+	pl.Triggers = append(pl.Triggers, Trigger{Event: event, Node: node, RestartAfter: restartAfter})
+	return pl
+}
+
 // sorted returns the events ordered by time (stable for equal times,
 // so a plan's build order breaks ties deterministically).
 func (pl *Plan) sorted() []Event {
@@ -133,23 +155,23 @@ func RandomPlan(seed uint64, nodes int, horizon simtime.Time) *Plan {
 		panic("faults: RandomPlan needs at least 3 nodes")
 	}
 	pl := NewPlan(seed)
-	rng := newRNG(seed)
-	victim := 1 + int(rng.next()%uint64(nodes-1))
-	crashAt := horizon/4 + simtime.Time(rng.next()%uint64(horizon/4))
-	restartAt := crashAt + horizon/8 + simtime.Time(rng.next()%uint64(horizon/4))
+	rng := detrand.New(seed)
+	victim := 1 + int(rng.Uint64()%uint64(nodes-1))
+	crashAt := horizon/4 + simtime.Time(rng.Uint64()%uint64(horizon/4))
+	restartAt := crashAt + horizon/8 + simtime.Time(rng.Uint64()%uint64(horizon/4))
 	pl.CrashAt(victim, crashAt).RestartAt(victim, restartAt)
 	for f := 0; f < 2; f++ {
-		a := int(rng.next() % uint64(nodes))
-		b := int(rng.next() % uint64(nodes))
+		a := int(rng.Uint64() % uint64(nodes))
+		b := int(rng.Uint64() % uint64(nodes))
 		for b == a || a == victim || b == victim {
-			a = int(rng.next() % uint64(nodes))
-			b = int(rng.next() % uint64(nodes))
+			a = int(rng.Uint64() % uint64(nodes))
+			b = int(rng.Uint64() % uint64(nodes))
 		}
-		from := simtime.Time(rng.next() % uint64(horizon/2))
-		to := from + horizon/16 + simtime.Time(rng.next()%uint64(horizon/8))
+		from := simtime.Time(rng.Uint64() % uint64(horizon/2))
+		to := from + horizon/16 + simtime.Time(rng.Uint64()%uint64(horizon/8))
 		pl.FlapBoth(a, b, from, to)
 	}
-	lossFrom := simtime.Time(rng.next() % uint64(horizon/2))
+	lossFrom := simtime.Time(rng.Uint64() % uint64(horizon/2))
 	pl.LossDuring(0.005, lossFrom, lossFrom+horizon/8)
 	return pl
 }
@@ -158,7 +180,7 @@ func RandomPlan(seed uint64, nodes int, horizon simtime.Time) *Plan {
 type Injector struct {
 	cls  *cluster.Cluster
 	plan *Plan
-	rng  *rng
+	rng  *detrand.RNG
 	rate float64
 
 	// Counters for reporting what actually happened.
@@ -172,13 +194,35 @@ type Injector struct {
 // does not keep the simulation alive; when the workload finishes,
 // remaining events are moot.
 func Attach(cls *cluster.Cluster, pl *Plan) *Injector {
-	inj := &Injector{cls: cls, plan: pl, rng: newRNG(pl.Seed)}
+	inj := &Injector{cls: cls, plan: pl, rng: detrand.New(pl.Seed)}
 	// Drop accounting lives in the observability registry; make sure
 	// one exists so Dropped() always has a counter to read.
 	cls.EnableObs()
 	cls.Fab.SetDropHook(func(at simtime.Time, src, dst int, size int64) bool {
-		return inj.rate > 0 && inj.rng.float64() < inj.rate
+		return inj.rate > 0 && inj.rng.Float64() < inj.rate
 	})
+	if len(pl.Triggers) > 0 {
+		fired := make([]bool, len(pl.Triggers))
+		cls.OnEvent(func(p *simtime.Proc, name string) {
+			for idx := range pl.Triggers {
+				tr := pl.Triggers[idx]
+				if fired[idx] || tr.Event != name {
+					continue
+				}
+				fired[idx] = true
+				inj.Crashes++
+				inj.cls.CrashNode(p, tr.Node)
+				if tr.RestartAfter > 0 {
+					node, after := tr.Node, tr.RestartAfter
+					cls.Env.GoDaemon("fault-trigger-restart", func(q *simtime.Proc) {
+						q.Sleep(after)
+						inj.Restarts++
+						inj.cls.RestartNode(q, node)
+					})
+				}
+			}
+		})
+	}
 	events := pl.sorted()
 	cls.Env.GoDaemon("fault-injector", func(p *simtime.Proc) {
 		for _, ev := range events {
@@ -212,22 +256,4 @@ func (inj *Injector) apply(p *simtime.Proc, ev Event) {
 	case LossRate:
 		inj.rate = ev.Rate
 	}
-}
-
-// rng is a splitmix64 sequence; good enough for drop decisions and
-// fully determined by the seed.
-type rng struct{ state uint64 }
-
-func newRNG(seed uint64) *rng { return &rng{state: seed ^ 0x9e3779b97f4a7c15} }
-
-func (r *rng) next() uint64 {
-	r.state += 0x9e3779b97f4a7c15
-	x := r.state
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-func (r *rng) float64() float64 {
-	return float64(r.next()>>11) / float64(1<<53)
 }

@@ -21,8 +21,12 @@ const (
 	copMemset
 	copMemcpy
 	copPing       // keepalive probe; reply carries the node's epoch
-	copMembership // manager -> node membership (epoch, dead set) push
+	copMembership // manager -> node membership (epoch, dead set, moves) push
 	copJoin       // restarted node -> manager rejoin announcement
+	copMigPrepare // source -> manager: record the handoff {src, fn} -> target
+	copMigState   // source -> target: dedup windows + application payload
+	copMigCommit  // source -> manager: commit the move (linearization point)
+	copMigAbort   // source -> manager: clear the handoff record
 )
 
 // Control-plane status codes.
@@ -216,15 +220,33 @@ func (i *Instance) handleControl(p *simtime.Proc, c *Call) {
 				reply(cstBadArg, nil)
 				return
 			}
-			pa, err := i.node.Mem.AllocContiguous(i.opts.RingBytes)
-			if err != nil {
-				reply(errToCst(err), nil)
-				return
+			pa, leased := i.lease.takeRing()
+			if leased {
+				// Pre-allocated ring arena from the lease pool: a
+				// lookup and handoff instead of the page allocator.
+				p.Work(simtime.Time(i.cfg.QPLeaseGrant))
+				i.obsReg().Add("lite.lease.ring_leased", 1)
+			} else {
+				var err error
+				pa, err = i.node.Mem.AllocContiguous(i.opts.RingBytes)
+				if err != nil {
+					reply(errToCst(err), nil)
+					return
+				}
 			}
 			// The ring is stamped with this incarnation's boot count:
 			// its dedup window can only vouch for calls first posted to
 			// this incarnation.
 			ring = &srvRing{client: c.Src, fn: fn, pa: pa, size: i.opts.RingBytes, boot: i.boots}
+			if w, ok := i.adopted[key]; ok {
+				// A migration shipped this client's dedup window ahead
+				// of the binding; the fresh ring inherits the history
+				// and the boot lineage it vouches for.
+				ring.adoptedBoots = w.boots
+				ring.dedup = w.dedup
+				ring.dedupFIFO = w.dedupFIFO
+				delete(i.adopted, key)
+			}
 			i.srvRings[key] = ring
 		} else {
 			// Re-bind after a failure: the client restarts its tail at
@@ -367,7 +389,7 @@ func (i *Instance) handleControl(p *simtime.Proc, c *Call) {
 		}
 		epoch := binary.LittleEndian.Uint64(in[1:])
 		n := int(binary.LittleEndian.Uint16(in[9:]))
-		if len(in) < 11+4*n {
+		if len(in) < 13+4*n {
 			reply(cstBadArg, nil)
 			return
 		}
@@ -375,7 +397,23 @@ func (i *Instance) handleControl(p *simtime.Proc, c *Call) {
 		for k := 0; k < n; k++ {
 			dead[k] = int(binary.LittleEndian.Uint32(in[11+4*k:]))
 		}
-		i.applyMembership(epoch, dead)
+		off := 11 + 4*n
+		m := int(binary.LittleEndian.Uint16(in[off:]))
+		off += 2
+		if len(in) < off+12*m {
+			reply(cstBadArg, nil)
+			return
+		}
+		moves := make([]moveRec, m)
+		for k := 0; k < m; k++ {
+			moves[k] = moveRec{
+				src: int(binary.LittleEndian.Uint32(in[off:])),
+				fn:  int(binary.LittleEndian.Uint32(in[off+4:])),
+				dst: int(binary.LittleEndian.Uint32(in[off+8:])),
+			}
+			off += 12
+		}
+		i.applyMembership(epoch, dead, moves)
 		reply(cstOK, nil)
 
 	case copJoin:
@@ -384,6 +422,76 @@ func (i *Instance) handleControl(p *simtime.Proc, c *Call) {
 			return
 		}
 		i.handleJoin(p, c.Src)
+		reply(cstOK, nil)
+
+	case copMigPrepare:
+		if i.node.ID != i.opts.ManagerNode || len(in) < 9 {
+			reply(cstBadArg, nil)
+			return
+		}
+		fn := int(binary.LittleEndian.Uint32(in[1:]))
+		target := int(binary.LittleEndian.Uint32(in[5:]))
+		m := &i.dep.memb
+		if m.dead[c.Src] || m.dead[target] || target == c.Src {
+			reply(cstBadArg, nil)
+			return
+		}
+		// The handoff record is routing-inert; it exists to gate the
+		// commit, so a crash between here and commit resolves to the
+		// moves table's answer, deterministically.
+		m.handoff[migKey{c.Src, fn}] = target
+		i.obsReg().Add("lite.migrate.prepared", 1)
+		reply(cstOK, nil)
+
+	case copMigState:
+		if len(in) < 1 {
+			reply(cstBadArg, nil)
+			return
+		}
+		if err := i.adoptMigState(p, c.Src, in[1:]); err != nil {
+			reply(errToCst(err), nil)
+			return
+		}
+		reply(cstOK, nil)
+
+	case copMigCommit:
+		if i.node.ID != i.opts.ManagerNode || len(in) < 9 {
+			reply(cstBadArg, nil)
+			return
+		}
+		fn := int(binary.LittleEndian.Uint32(in[1:]))
+		target := int(binary.LittleEndian.Uint32(in[5:]))
+		m := &i.dep.memb
+		k := migKey{c.Src, fn}
+		if to, ok := m.moves[k]; ok && to == target {
+			// Idempotent re-commit: the first commit's reply was lost.
+			reply(cstOK, nil)
+			return
+		}
+		if to, ok := m.handoff[k]; !ok || to != target {
+			reply(cstBadArg, nil)
+			return
+		}
+		delete(m.handoff, k)
+		m.moves[k] = target
+		// Collapse chains eagerly: if fn had previously moved TO c.Src,
+		// or target was itself a recorded source, rewrite so the table
+		// stays cycle-free and one lookup away from the live owner.
+		delete(m.moves, migKey{target, fn})
+		m.epoch++
+		i.obsReg().Add("lite.membership.epochs", 1)
+		i.obsReg().Add("lite.migrate.commits", 1)
+		i.broadcastMembership(p)
+		reply(cstOK, nil)
+
+	case copMigAbort:
+		if i.node.ID != i.opts.ManagerNode || len(in) < 5 {
+			reply(cstBadArg, nil)
+			return
+		}
+		fn := int(binary.LittleEndian.Uint32(in[1:]))
+		delete(i.dep.memb.handoff, migKey{c.Src, fn})
+		i.obsReg().Add("lite.migrate.aborts", 1)
 		reply(cstOK, nil)
 
 	default:

@@ -50,8 +50,15 @@ func (i *Instance) crash(p *simtime.Proc) {
 	i.scratch.quarBytes = 0
 	i.scratch.evicted = nil
 	// The calls the fair-admission policy was accounting for die with
-	// the incarnation; its state dies too.
+	// the incarnation; its state dies too. Likewise migration soft
+	// state: an in-flight Drain is abandoned (the manager's handoff
+	// record is purged at rejoin or death), and the committed-moves
+	// view is relearned from the manager's next broadcast.
 	i.adm = nil
+	i.migrating = make(map[int]*migState)
+	i.adopted = make(map[bindKey]*adoptedWindow)
+	i.moved = make(map[migKey]int)
+	i.pacer = make(map[bindKey]simtime.Time)
 
 	// Stop daemons: the header-update thread exits on channel close;
 	// the poller and system workers observe stopped after a wakeup.
@@ -207,6 +214,12 @@ func (i *Instance) restart(p *simtime.Proc) {
 		return
 	}
 	i.cls.GoOn(node, "lite-rejoin", func(q *simtime.Proc) {
+		// With leasing enabled, re-establish shared-QP connectivity
+		// from the pool before announcing — this is the restart path
+		// the lease experiment measures.
+		if i.opts.ReconnectOnRestart {
+			i.reconnectPeers(q)
+		}
 		// Announce to the manager with bounded retries; if the manager
 		// is itself down, its own restart broadcast revives us.
 		for a := 0; a < i.opts.RetryAttempts; a++ {

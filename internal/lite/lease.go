@@ -1,0 +1,143 @@
+package lite
+
+import (
+	"lite/internal/hostmem"
+	"lite/internal/simtime"
+)
+
+// Connection leasing (KRCORE-style): establishing an RC connection the
+// cold way costs the full rdma_cm exchange plus the driver's QP state
+// transitions — hundreds of microseconds per QP, paid on the critical
+// path of every new client and every restarted server. A kernel-
+// resident connection pool removes that: LITE pre-establishes spare
+// connections per peer ahead of demand, a node needing connectivity
+// leases one at Params.QPLeaseGrant (a lookup and an ownership
+// handoff), and a background replenisher rebuilds the pool off the
+// critical path. The same idea applies to RPC ring arenas: a pool of
+// pre-allocated scratch rings lets binding negotiation skip the
+// contiguous-page allocation.
+//
+// In the simulation the pool is modeled as per-peer spare-connection
+// counts plus a ring free list; the lease/cold distinction is purely
+// which cost the verbs layer charges. The pool, like the manager's
+// membership table, is modeled as surviving node restarts — it lives
+// in the kernel connection service on the paper's HA pair.
+
+// leaseState is one node's view of the connection pool.
+type leaseState struct {
+	// want is the configured spare-connection target per peer.
+	want int
+	// spares[peer] counts pre-established spare connections to peer.
+	spares []int
+	// rings is the free list of pre-allocated ring arenas.
+	rings []hostmem.PAddr
+	// replenishing marks an active background replenisher, so at most
+	// one runs per node at a time.
+	replenishing bool
+}
+
+func (l *leaseState) init(opts *Options, n, self int) {
+	l.want = opts.QPLeasePool
+	if l.want <= 0 {
+		return
+	}
+	l.spares = make([]int, n)
+	for d := range l.spares {
+		if d != self {
+			l.spares[d] = l.want
+		}
+	}
+}
+
+// initRingLeases pre-allocates the configured number of ring arenas at
+// boot, so runtime binding negotiation can lease one instead of
+// calling the contiguous-page allocator.
+func (i *Instance) initRingLeases() error {
+	for k := 0; k < i.opts.RingLeasePool; k++ {
+		pa, err := i.node.Mem.AllocContiguous(i.opts.RingBytes)
+		if err != nil {
+			return err
+		}
+		i.lease.rings = append(i.lease.rings, pa)
+	}
+	return nil
+}
+
+// takeRing pops a pre-allocated ring arena from the lease pool.
+func (l *leaseState) takeRing() (hostmem.PAddr, bool) {
+	if n := len(l.rings); n > 0 {
+		pa := l.rings[n-1]
+		l.rings = l.rings[:n-1]
+		return pa, true
+	}
+	return 0, false
+}
+
+// ConnectPeer (re-)establishes this node's shared-QP connectivity to
+// dst: each of the K shared QPs is either leased from the connection
+// pool (Params.QPLeaseGrant each) or cold-connected through the full
+// rdma_cm exchange (Params.QPConnectTime each). Returns how many were
+// leased and how many went cold. A drained pool is replenished in the
+// background, off this caller's critical path.
+func (i *Instance) ConnectPeer(p *simtime.Proc, dst int) (leased, cold int) {
+	reg := i.obsReg()
+	for _, qp := range i.qps[dst] {
+		if i.lease.want > 0 && i.lease.spares[dst] > 0 {
+			i.lease.spares[dst]--
+			i.ctx.LeaseQP(p, qp)
+			leased++
+		} else {
+			i.ctx.ConnectQP(p, qp, qp.RemoteNode(), qp.RemoteQPN())
+			cold++
+		}
+	}
+	reg.Add("lite.lease.leased", int64(leased))
+	reg.Add("lite.lease.cold", int64(cold))
+	if leased > 0 {
+		i.spawnReplenisher()
+	}
+	return leased, cold
+}
+
+// reconnectPeers re-establishes connectivity to every peer, as a
+// restarting node does before rejoining when ReconnectOnRestart is set.
+func (i *Instance) reconnectPeers(p *simtime.Proc) {
+	for dst := range i.qps {
+		if dst == i.node.ID || len(i.qps[dst]) == 0 {
+			continue
+		}
+		i.ConnectPeer(p, dst)
+	}
+}
+
+// spawnReplenisher starts the background pool rebuilder if the pool is
+// below target and no rebuilder is already running. Each rebuilt spare
+// pays the full cold-connect cost — but in the background, where nobody
+// waits on it.
+func (i *Instance) spawnReplenisher() {
+	if i.lease.replenishing || i.lease.want <= 0 {
+		return
+	}
+	i.lease.replenishing = true
+	i.cls.GoDaemonOn(i.node.ID, "lite-lease-replenish", func(p *simtime.Proc) {
+		defer func() { i.lease.replenishing = false }()
+		for {
+			if i.stopped {
+				return
+			}
+			dst := -1
+			for d := range i.lease.spares {
+				if d != i.node.ID && len(i.qps[d]) > 0 && i.lease.spares[d] < i.lease.want {
+					dst = d
+					break
+				}
+			}
+			if dst < 0 {
+				return
+			}
+			p.Work(simtime.Time(i.cfg.QPConnectTime))
+			i.lease.spares[dst]++
+			i.obsReg().Add("lite.lease.replenished", 1)
+		}
+	})
+}

@@ -67,6 +67,17 @@ var (
 	// MaxRingBytes (64 MB). Anything larger would silently wrap offsets
 	// and corrupt the ring.
 	ErrBadRingBytes = errors.New("lite: RingBytes must be a positive multiple of 8 no larger than 64 MB")
+	// ErrMoved reports that the function this call targeted has been
+	// migrated away from the destination node: the server fenced the
+	// request and answered with a tagRPCMoved notification instead of
+	// executing it. Like ErrOverloaded it is a definitive "did NOT
+	// execute"; the rich MovedError form carries the new home node, and
+	// the retry layer re-routes there transparently, so applications
+	// normally never observe it.
+	ErrMoved = errors.New("lite: function migrated to another node")
+	// ErrMigrating reports a Drain invoked on a function that is
+	// already mid-migration on this node.
+	ErrMigrating = errors.New("lite: function is already migrating")
 )
 
 // OverloadError is the rich form of ErrOverloaded a shed notification
@@ -85,6 +96,20 @@ func (e *OverloadError) Error() string { return ErrOverloaded.Error() }
 
 // Unwrap makes errors.Is(err, ErrOverloaded) hold.
 func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// MovedError is the rich form of ErrMoved a tagRPCMoved notification
+// carries: To is the node the function now lives on. It unwraps to
+// ErrMoved so errors.Is matches either form; the retry layer extracts
+// To with errors.As, records the move in its local view, and reissues
+// the call against the new home without consuming a retry attempt.
+type MovedError struct {
+	To int
+}
+
+func (e *MovedError) Error() string { return ErrMoved.Error() }
+
+// Unwrap makes errors.Is(err, ErrMoved) hold.
+func (e *MovedError) Unwrap() error { return ErrMoved }
 
 // Options configures a LITE deployment.
 type Options struct {
@@ -160,6 +185,34 @@ type Options struct {
 	// the accumulated send-queue slots); the posts in between produce
 	// no CQE at all. Zero selects the default; 1 signals every post.
 	SignalEvery int
+
+	// QPLeasePool, when positive, keeps that many pre-established spare
+	// QPs per peer in a kernel connection pool (KRCORE-style): a node
+	// re-establishing connectivity leases one per needed QP at
+	// Params.QPLeaseGrant instead of paying the full rdma_cm exchange
+	// at Params.QPConnectTime, and a background replenisher rebuilds
+	// the pool off the critical path. Zero (the default) disables the
+	// pool; reconnects then cold-connect. The pool, like the manager's
+	// membership table, is modeled as surviving node restarts (it lives
+	// in the kernel connection service on the paper's HA pair).
+	QPLeasePool int
+	// RingLeasePool, when positive, pre-allocates that many RPC ring
+	// arenas per node at boot; a binding negotiated at runtime leases
+	// one at Params.QPLeaseGrant instead of paying the page-allocator
+	// cost for a fresh contiguous arena. Zero disables it.
+	RingLeasePool int
+	// ReconnectOnRestart makes a restarting node re-establish its
+	// shared QP mesh (leasing from the pool when QPLeasePool is set,
+	// cold-connecting otherwise) before it rejoins the cluster. Off by
+	// default: the base simulation models QPs as surviving restarts,
+	// and flipping this on changes restart timelines.
+	ReconnectOnRestart bool
+
+	// Pacer enables the client-side overload pacer: a Retry-After hint
+	// shipped with a fair-admission shed is remembered per (node,
+	// function) and delays this client's NEXT sends to that target —
+	// flow control, not just retry backoff. Off by default.
+	Pacer bool
 }
 
 // DefaultOptions returns the standard deployment configuration.
@@ -237,6 +290,27 @@ type Instance struct {
 	sysQueue []*rpcFunc
 	sysCond  simtime.Cond
 
+	// Migration state (migrate.go). migrating tracks this node's
+	// in-progress outbound migrations by function; moved is this
+	// instance's view of committed moves (installed by membership
+	// broadcasts and learned from MovedError redirects); adopted holds
+	// dedup windows shipped ahead of an adoption, installed into the
+	// ring when the client binds; onAdopt holds per-function
+	// application adoption hooks run on the target during state
+	// transfer.
+	migrating map[int]*migState
+	moved     map[migKey]int
+	adopted   map[bindKey]*adoptedWindow
+	onAdopt   map[int]AdoptFunc
+
+	// Lease state (lease.go): the node's view of the kernel connection
+	// pool plus the pre-allocated ring arenas.
+	lease leaseState
+
+	// Pacer state (pacer.go): per-(node, function) earliest-next-send
+	// horizons distilled from Retry-After hints.
+	pacer map[bindKey]simtime.Time
+
 	// Sync state (sync.go).
 	locks map[uint64]*lockState
 
@@ -293,27 +367,33 @@ func Start(cls *cluster.Cluster, opts Options) (*Deployment, error) {
 	n := len(cls.Nodes)
 	for _, nd := range cls.Nodes {
 		inst := &Instance{
-			cls:      cls,
-			node:     nd,
-			opts:     opts,
-			cfg:      cls.Cfg,
-			dep:      dep,
-			ctx:      verbs.Open(nd.NIC, nd.KernelAS),
-			qps:      make([][]*rnic.QP, n),
-			qpSlots:  make([][]*simtime.Semaphore, n),
-			qpSig:    make([][]*qpSigState, n),
-			nextQP:   make([]int, n),
-			lhs:      make(map[uint64]*lhEntry),
-			nextLH:   1,
-			localLMR: make(map[uint64]*lmrState),
-			funcs:    make(map[int]*rpcFunc),
-			bindings: make(map[bindKey]*binding),
-			srvRings: make(map[bindKey]*srvRing),
-			pending:  make(map[uint32]*pendingCall),
-			headUpd:  simtime.NewChan[headUpdate](4096),
-			locks:    make(map[uint64]*lockState),
-			deadView: make(map[int]bool),
+			cls:       cls,
+			node:      nd,
+			opts:      opts,
+			cfg:       cls.Cfg,
+			dep:       dep,
+			ctx:       verbs.Open(nd.NIC, nd.KernelAS),
+			qps:       make([][]*rnic.QP, n),
+			qpSlots:   make([][]*simtime.Semaphore, n),
+			qpSig:     make([][]*qpSigState, n),
+			nextQP:    make([]int, n),
+			lhs:       make(map[uint64]*lhEntry),
+			nextLH:    1,
+			localLMR:  make(map[uint64]*lmrState),
+			funcs:     make(map[int]*rpcFunc),
+			bindings:  make(map[bindKey]*binding),
+			srvRings:  make(map[bindKey]*srvRing),
+			pending:   make(map[uint32]*pendingCall),
+			headUpd:   simtime.NewChan[headUpdate](4096),
+			locks:     make(map[uint64]*lockState),
+			deadView:  make(map[int]bool),
+			migrating: make(map[int]*migState),
+			moved:     make(map[migKey]int),
+			adopted:   make(map[bindKey]*adoptedWindow),
+			onAdopt:   make(map[int]AdoptFunc),
+			pacer:     make(map[bindKey]simtime.Time),
 		}
+		inst.lease.init(&opts, n, nd.ID)
 		inst.qos.init(inst, opts.QPsPerPair, &dep.qsig)
 		// One global MR per node covering all of physical memory,
 		// registered with physical addresses (§4.1): one lkey/rkey, no
@@ -327,6 +407,9 @@ func Start(cls *cluster.Cluster, opts Options) (*Deployment, error) {
 		inst.sendDisp = verbs.NewDispatcher(inst.sendCQ)
 		inst.recvCQ = nd.NIC.CreateCQ()
 		if err := inst.initScratch(); err != nil {
+			return nil, err
+		}
+		if err := inst.initRingLeases(); err != nil {
 			return nil, err
 		}
 		dep.Instances = append(dep.Instances, inst)

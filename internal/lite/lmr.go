@@ -221,7 +221,7 @@ func (i *Instance) mapInternal(p *simtime.Proc, name string, pri Priority) (LH, 
 		perm = grantFor(ls, i.node.ID)
 		ls.mappedBy[i.node.ID] = true
 	} else {
-		master := anyMaster(ls)
+		master := i.liveMaster(ls)
 		g, err := i.ctlMapRequest(p, master, ls.id, pri)
 		if err != nil {
 			return 0, err
@@ -254,6 +254,28 @@ func anyMaster(ls *lmrState) int {
 	return best
 }
 
+// liveMaster picks a master this instance's membership view believes
+// alive (smallest id for determinism). A migrated LMR keeps its old
+// home in masters until that node relinquishes the role, so after the
+// old home dies the grant request must go to a surviving master. With
+// no live master it falls back to anyMaster and lets the control RPC
+// surface the real failure.
+func (i *Instance) liveMaster(ls *lmrState) int {
+	best := -1
+	for n := range ls.masters {
+		if i.deadView[n] {
+			continue
+		}
+		if best < 0 || n < best {
+			best = n
+		}
+	}
+	if best < 0 {
+		return anyMaster(ls)
+	}
+	return best
+}
+
 // unmapInternal implements LT_unmap: drop the lh and its metadata and
 // inform the master.
 func (i *Instance) unmapInternal(p *simtime.Proc, h LH, pri Priority) error {
@@ -264,7 +286,7 @@ func (i *Instance) unmapInternal(p *simtime.Proc, h LH, pri Priority) error {
 	p.Work(i.cfg.LITECheck)
 	delete(i.lhs, uint64(h))
 	if !e.ls.masters[i.node.ID] && !e.ls.freed {
-		_ = i.ctlUnmapNotify(p, anyMaster(e.ls), e.ls.id, pri)
+		_ = i.ctlUnmapNotify(p, i.liveMaster(e.ls), e.ls.id, pri)
 	}
 	return nil
 }

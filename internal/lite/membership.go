@@ -23,15 +23,52 @@ import (
 // node that missed a membership message converges on the next beat.
 
 // membState is the manager's authoritative membership bookkeeping.
+// moves is the committed live-migration table ({src, fn} -> new home);
+// handoff holds prepared-but-uncommitted migrations (routing-inert;
+// they only gate commits, see migrate.go). Both are part of the view
+// modeled as surviving manager restarts on the HA pair.
 type membState struct {
-	epoch uint64
-	dead  map[int]bool
-	miss  map[int]int
+	epoch   uint64
+	dead    map[int]bool
+	miss    map[int]int
+	moves   map[migKey]int
+	handoff map[migKey]int
 }
 
 func (m *membState) init() {
 	m.dead = make(map[int]bool)
 	m.miss = make(map[int]int)
+	m.moves = make(map[migKey]int)
+	m.handoff = make(map[migKey]int)
+}
+
+// purgeHandoffs drops prepared-but-uncommitted migrations touching the
+// given node (as source or target): the migration can no longer
+// commit, so the record must not gate a future one.
+func (m *membState) purgeHandoffs(node int) {
+	// Deleting while ranging is safe, and dropping entries is
+	// order-independent.
+	for k, t := range m.handoff {
+		if k.src == node || t == node {
+			delete(m.handoff, k)
+		}
+	}
+}
+
+// movesList returns the committed moves as a deterministically ordered
+// slice for broadcast payloads.
+func (m *membState) movesList() []moveRec {
+	out := make([]moveRec, 0, len(m.moves))
+	for k, dst := range m.moves {
+		out = append(out, moveRec{src: k.src, fn: k.fn, dst: dst})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].src != out[b].src {
+			return out[a].src < out[b].src
+		}
+		return out[a].fn < out[b].fn
+	})
+	return out
 }
 
 // deadList returns the dead set as a sorted slice (broadcast payloads
@@ -93,6 +130,7 @@ func (i *Instance) proberLoop(p *simtime.Proc, target int) {
 func (i *Instance) declareDead(p *simtime.Proc, target int) {
 	m := &i.dep.memb
 	m.dead[target] = true
+	m.purgeHandoffs(target)
 	m.epoch++
 	i.obsReg().Add("lite.membership.epochs", 1)
 	i.obsReg().Add("lite.membership.deaths", 1)
@@ -117,20 +155,21 @@ func (i *Instance) reviveNode(p *simtime.Proc, target int) {
 func (i *Instance) broadcastMembership(p *simtime.Proc) {
 	m := &i.dep.memb
 	dead := m.deadList()
-	i.applyMembership(m.epoch, dead)
+	moves := m.movesList()
+	i.applyMembership(m.epoch, dead, moves)
 	for _, peer := range i.dep.Instances {
 		pid := peer.node.ID
 		if pid == i.node.ID || m.dead[pid] {
 			continue
 		}
-		_ = i.ctlMembership(p, pid, m.epoch, dead)
+		_ = i.ctlMembership(p, pid, m.epoch, dead, moves)
 	}
 }
 
 // sendMembership ships the current view to one node.
 func (i *Instance) sendMembership(p *simtime.Proc, target int) {
 	m := &i.dep.memb
-	_ = i.ctlMembership(p, target, m.epoch, m.deadList())
+	_ = i.ctlMembership(p, target, m.epoch, m.deadList(), m.movesList())
 }
 
 // applyMembership installs a membership view on this instance. Stale
@@ -139,7 +178,7 @@ func (i *Instance) sendMembership(p *simtime.Proc, target int) {
 // abort, and quarantined reply buffers from before the new epoch are
 // released (any straggler reply from that era was sent by a peer now
 // declared dead or restarted, so it can no longer arrive).
-func (i *Instance) applyMembership(epoch uint64, dead []int) {
+func (i *Instance) applyMembership(epoch uint64, dead []int, moves []moveRec) {
 	if epoch <= i.epoch || i.stopped {
 		return
 	}
@@ -148,6 +187,20 @@ func (i *Instance) applyMembership(epoch uint64, dead []int) {
 	for _, n := range dead {
 		i.deadView[n] = true
 	}
+	// Install the committed-moves view. Entries sourced at this node
+	// are preserved even if the broadcast predates their commit: the
+	// node itself completed the handoff, and forgetting that would let
+	// it execute calls on state it no longer owns.
+	moved := make(map[migKey]int, len(moves))
+	for _, mv := range moves {
+		moved[migKey{mv.src, mv.fn}] = mv.dst
+	}
+	for k, v := range i.moved {
+		if k.src == i.node.ID {
+			moved[k] = v
+		}
+	}
+	i.moved = moved
 	env := i.cls.Env
 	for _, token := range i.sortedPendingTokens() {
 		pc := i.pending[token]
@@ -209,14 +262,25 @@ func (i *Instance) ctlPing(p *simtime.Proc, dst int) (uint64, error) {
 	return binary.LittleEndian.Uint64(out[1:]), nil
 }
 
-// ctlMembership pushes an (epoch, dead set) view to dst.
-func (i *Instance) ctlMembership(p *simtime.Proc, dst int, epoch uint64, dead []int) error {
-	req := make([]byte, 11+4*len(dead))
+// ctlMembership pushes an (epoch, dead set, committed moves) view to
+// dst.
+func (i *Instance) ctlMembership(p *simtime.Proc, dst int, epoch uint64, dead []int, moves []moveRec) error {
+	req := make([]byte, 13+4*len(dead)+12*len(moves))
 	req[0] = copMembership
 	binary.LittleEndian.PutUint64(req[1:], epoch)
 	binary.LittleEndian.PutUint16(req[9:], uint16(len(dead)))
-	for k, n := range dead {
-		binary.LittleEndian.PutUint32(req[11+4*k:], uint32(n))
+	off := 11
+	for _, n := range dead {
+		binary.LittleEndian.PutUint32(req[off:], uint32(n))
+		off += 4
+	}
+	binary.LittleEndian.PutUint16(req[off:], uint16(len(moves)))
+	off += 2
+	for _, mv := range moves {
+		binary.LittleEndian.PutUint32(req[off:], uint32(mv.src))
+		binary.LittleEndian.PutUint32(req[off+4:], uint32(mv.fn))
+		binary.LittleEndian.PutUint32(req[off+8:], uint32(mv.dst))
+		off += 12
 	}
 	_, err := i.rpcInternalT(p, dst, funcControl, req, 1, PriHigh, i.opts.HeartbeatTimeout)
 	return err
@@ -235,6 +299,9 @@ func (i *Instance) handleJoin(p *simtime.Proc, src int) {
 	m := &i.dep.memb
 	m.miss[src] = 0
 	delete(m.dead, src)
+	// Any migration the node had in flight died with it; its prepared
+	// records must not gate a fresh attempt.
+	m.purgeHandoffs(src)
 	m.epoch++
 	i.obsReg().Add("lite.membership.epochs", 1)
 	i.obsReg().Add("lite.membership.joins", 1)

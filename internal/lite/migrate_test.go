@@ -1,0 +1,366 @@
+package lite
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"testing"
+
+	"lite/internal/load"
+	"lite/internal/simtime"
+)
+
+const migFn = FirstUserFunc + 7
+
+// serveMig arms echo servers for migFn on the instance, counting how
+// many times each request id executes (the zero-double-execution
+// ledger).
+func serveMig(inst *Instance, workers int, counts map[uint64]int) {
+	for w := 0; w < workers; w++ {
+		inst.cls.GoDaemonOn(inst.node.ID, "mig-server", func(p *simtime.Proc) {
+			c := inst.KernelClient()
+			call, err := c.RecvRPC(p, migFn)
+			for err == nil {
+				counts[binary.LittleEndian.Uint64(call.Input)]++
+				call, err = c.ReplyRecvRPC(p, call, call.Input, migFn)
+			}
+		})
+	}
+}
+
+// TestDrainLiveMigration drives open-loop load at a server while its
+// function live-migrates to a fresh node: zero calls may fail, zero
+// may execute twice, and the p99 of calls scheduled during the drain
+// window must stay within 3x of steady state.
+func TestDrainLiveMigration(t *testing.T) {
+	cls, dep := testDep(t, 4)
+	cls.EnableObs()
+	counts := make(map[uint64]int)
+
+	src := dep.Instance(1)
+	if err := src.RegisterRPC(migFn); err != nil {
+		t.Fatal(err)
+	}
+	serveMig(src, 4, counts)
+
+	tgt := dep.Instance(3)
+	tgt.OnAdopt(migFn, func(p *simtime.Proc, from int, app []byte) error {
+		if err := tgt.RegisterRPC(migFn); err != nil {
+			return err
+		}
+		serveMig(tgt, 4, counts)
+		return nil
+	})
+
+	var fenceAt, doneAt simtime.Time
+	cls.OnEvent(func(p *simtime.Proc, name string) {
+		switch name {
+		case "lite.migrate.fence":
+			fenceAt = p.Now()
+		case "lite.migrate.done":
+			doneAt = p.Now()
+		}
+	})
+
+	type rec struct {
+		at, lat simtime.Time
+	}
+	var recs []rec
+	failures := 0
+	total := 0
+	gen := func(node int, seed uint64, n int) {
+		sched := load.Poisson(seed, 0.5, n, 50*1000)
+		inst := dep.Instance(node)
+		total += n
+		cls.GoOn(node, "mig-gen", func(p *simtime.Proc) {
+			for k, at := range sched {
+				if at > p.Now() {
+					p.SleepUntil(at)
+				}
+				k, at := k, at
+				cls.GoOn(node, "mig-req", func(q *simtime.Proc) {
+					in := make([]byte, 8)
+					id := uint64(node)<<32 | uint64(k)
+					binary.LittleEndian.PutUint64(in, id)
+					out, err := inst.KernelClient().RPCRetry(q, 1, migFn, in, 64)
+					if err != nil || !bytes.Equal(out, in) {
+						failures++
+						return
+					}
+					recs = append(recs, rec{at: at, lat: q.Now() - at})
+				})
+			}
+		})
+	}
+	gen(0, 41, 700)
+	gen(2, 42, 700)
+
+	cls.GoOn(1, "drain-driver", func(p *simtime.Proc) {
+		p.SleepUntil(500 * 1000)
+		if err := src.Drain(p, migFn, 3, nil); err != nil {
+			t.Errorf("Drain: %v", err)
+		}
+	})
+	run(t, cls)
+
+	if failures != 0 {
+		t.Fatalf("%d calls failed during live migration, want 0", failures)
+	}
+	if len(recs) != total {
+		t.Fatalf("completed %d of %d calls", len(recs), total)
+	}
+	if len(counts) != total {
+		t.Fatalf("executed %d distinct ids, want %d", len(counts), total)
+	}
+	for id, n := range counts {
+		if n != 1 {
+			t.Fatalf("id %d executed %d times, want exactly once", id, n)
+		}
+	}
+	if fenceAt == 0 || doneAt <= fenceAt {
+		t.Fatalf("migration window [%v, %v] not recorded", fenceAt, doneAt)
+	}
+	if got := cls.Obs.Total("lite.migrate.committed"); got != 1 {
+		t.Fatalf("lite.migrate.committed = %d, want 1", got)
+	}
+	if cls.Obs.Total("lite.migrate.held") < 1 {
+		t.Fatalf("no call was fenced during drain; the test did not exercise the hold path")
+	}
+
+	p99 := func(lats []simtime.Time) simtime.Time {
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		return lats[len(lats)*99/100]
+	}
+	var steady, during []simtime.Time
+	for _, r := range recs {
+		switch {
+		case r.at < fenceAt:
+			steady = append(steady, r.lat)
+		case r.at <= doneAt:
+			during = append(during, r.lat)
+		}
+	}
+	if len(during) == 0 {
+		t.Fatalf("no call was scheduled inside the drain window [%v, %v]", fenceAt, doneAt)
+	}
+	if s, d := p99(steady), p99(during); d > 3*s {
+		t.Fatalf("p99 during drain = %v, steady = %v: exceeds 3x", d, s)
+	}
+
+	// Routing converged: the clients' views carry the committed move.
+	if to, ok := dep.Instance(0).moved[migKey{1, migFn}]; !ok || to != 3 {
+		t.Fatalf("client view moved[{1,fn}] = (%d, %v), want (3, true)", to, ok)
+	}
+}
+
+// TestMovedBounceStaleClient clears a client's committed-moves view
+// after a migration and calls the old home directly: the source must
+// answer with the new home and the retry layer must re-route without
+// consuming an attempt or failing the call.
+func TestMovedBounceStaleClient(t *testing.T) {
+	cls, dep := testDep(t, 4)
+	cls.EnableObs()
+	counts := make(map[uint64]int)
+	src := dep.Instance(1)
+	if err := src.RegisterRPC(migFn); err != nil {
+		t.Fatal(err)
+	}
+	serveMig(src, 2, counts)
+	tgt := dep.Instance(3)
+	tgt.OnAdopt(migFn, func(p *simtime.Proc, from int, app []byte) error {
+		if err := tgt.RegisterRPC(migFn); err != nil {
+			return err
+		}
+		serveMig(tgt, 2, counts)
+		return nil
+	})
+	cls.GoOn(1, "drain-driver", func(p *simtime.Proc) {
+		p.SleepUntil(100 * 1000)
+		if err := src.Drain(p, migFn, 3, nil); err != nil {
+			t.Errorf("Drain: %v", err)
+		}
+	})
+	cls.GoOn(2, "stale-client", func(p *simtime.Proc) {
+		p.SleepUntil(400 * 1000)
+		inst := dep.Instance(2)
+		// Forget the broadcast: this models a client that missed the
+		// membership message and still routes to the old home.
+		delete(inst.moved, migKey{1, migFn})
+		in := make([]byte, 8)
+		binary.LittleEndian.PutUint64(in, 99)
+		out, err := inst.KernelClient().RPCRetry(p, 1, migFn, in, 64)
+		if err != nil {
+			t.Errorf("stale-route call failed: %v", err)
+		} else if !bytes.Equal(out, in) {
+			t.Errorf("stale-route echo = %q", out)
+		}
+		// The bounce taught the client the new home.
+		if to, ok := inst.moved[migKey{1, migFn}]; !ok || to != 3 {
+			t.Errorf("learned move = (%d, %v), want (3, true)", to, ok)
+		}
+	})
+	run(t, cls)
+	if got := cls.Obs.Total("lite.retry.moved"); got < 1 {
+		t.Fatalf("lite.retry.moved = %d, want >= 1", got)
+	}
+	if got := cls.Obs.Total("lite.rpc.moved_bounce"); got < 1 {
+		t.Fatalf("lite.rpc.moved_bounce = %d, want >= 1", got)
+	}
+	if counts[99] != 1 {
+		t.Fatalf("bounced call executed %d times, want 1", counts[99])
+	}
+}
+
+// TestDrainAbortRestoresService fails the appState callback: the
+// migration must abort, held calls must dispatch at the source as if
+// nothing happened, and the source must keep serving.
+func TestDrainAbortRestoresService(t *testing.T) {
+	cls, dep := testDep(t, 3)
+	cls.EnableObs()
+	counts := make(map[uint64]int)
+	src := dep.Instance(1)
+	if err := src.RegisterRPC(migFn); err != nil {
+		t.Fatal(err)
+	}
+	serveMig(src, 2, counts)
+
+	failures := 0
+	const n = 40
+	cls.GoOn(0, "client", func(p *simtime.Proc) {
+		inst := dep.Instance(0)
+		for k := 0; k < n; k++ {
+			in := make([]byte, 8)
+			binary.LittleEndian.PutUint64(in, uint64(k))
+			out, err := inst.KernelClient().RPCRetry(p, 1, migFn, in, 64)
+			if err != nil || !bytes.Equal(out, in) {
+				failures++
+			}
+			p.Sleep(10 * 1000)
+		}
+	})
+	var drainErr error
+	cls.GoOn(1, "drain-driver", func(p *simtime.Proc) {
+		p.SleepUntil(150 * 1000)
+		drainErr = src.Drain(p, migFn, 2, func(q *simtime.Proc) ([]byte, error) {
+			return nil, fmt.Errorf("shard refused to serialize")
+		})
+	})
+	run(t, cls)
+
+	if drainErr == nil {
+		t.Fatal("Drain succeeded despite failing appState")
+	}
+	if failures != 0 {
+		t.Fatalf("%d calls failed across the aborted migration, want 0", failures)
+	}
+	for id, c := range counts {
+		if c != 1 {
+			t.Fatalf("id %d executed %d times, want 1", id, c)
+		}
+	}
+	if len(counts) != n {
+		t.Fatalf("executed %d ids, want %d", len(counts), n)
+	}
+	if got := cls.Obs.Total("lite.migrate.aborted"); got != 1 {
+		t.Fatalf("lite.migrate.aborted = %d, want 1", got)
+	}
+	if got := cls.Obs.Total("lite.migrate.committed"); got != 0 {
+		t.Fatalf("lite.migrate.committed = %d, want 0", got)
+	}
+	if src.migrating[migFn] != nil {
+		t.Fatal("migration state leaked after abort")
+	}
+	if _, gone := src.moved[migKey{1, migFn}]; gone {
+		t.Fatal("aborted migration left a moved record")
+	}
+}
+
+// TestMigStateRoundTrip checks the dedup-window serialization: encode
+// on one node, adopt on another, and the parked windows must carry the
+// boot lineage and exactly the completed entries in FIFO order.
+// In-flight entries and other functions' rings must not ship.
+func TestMigStateRoundTrip(t *testing.T) {
+	cls, dep := testDep(t, 3)
+	cls.GoOn(0, "roundtrip", func(p *simtime.Proc) {
+		a, b, c := dep.Instance(0), dep.Instance(1), dep.Instance(2)
+		const fn = FirstUserFunc + 9
+
+		ring := &srvRing{client: 5, fn: fn, boot: 2, adoptedBoots: []uint64{0, 1}}
+		ring.dedupInsert(&dedupEntry{seq: 11, done: true, reply: []byte("r11")})
+		ring.dedupInsert(&dedupEntry{seq: 12, call: &Call{}}) // in flight
+		ring.dedupInsert(&dedupEntry{seq: 13, done: true})
+		a.srvRings[bindKey{5, fn}] = ring
+		ring2 := &srvRing{client: 6, fn: fn, boot: 0}
+		ring2.dedupInsert(&dedupEntry{seq: 3, done: true, reply: []byte("x")})
+		a.srvRings[bindKey{6, fn}] = ring2
+		a.srvRings[bindKey{5, fn + 1}] = &srvRing{client: 5, fn: fn + 1, boot: 9}
+
+		blob := a.encodeMigState(fn, []byte("app-payload"))
+		if again := a.encodeMigState(fn, []byte("app-payload")); !bytes.Equal(blob, again) {
+			t.Fatal("encodeMigState is not deterministic")
+		}
+
+		// Application payload without a hook must be refused.
+		if err := c.adoptMigState(p, 0, blob); err == nil {
+			t.Fatal("adopt without OnAdopt hook accepted an application payload")
+		}
+
+		var gotSrc int
+		var gotApp []byte
+		b.OnAdopt(fn, func(q *simtime.Proc, src int, app []byte) error {
+			gotSrc, gotApp = src, append([]byte(nil), app...)
+			return nil
+		})
+		if err := b.adoptMigState(p, 0, blob); err != nil {
+			t.Fatalf("adopt: %v", err)
+		}
+		if gotSrc != 0 || string(gotApp) != "app-payload" {
+			t.Fatalf("hook got (%d, %q)", gotSrc, gotApp)
+		}
+
+		w := b.adopted[bindKey{5, fn}]
+		if w == nil {
+			t.Fatal("no parked window for client 5")
+		}
+		if want := []uint64{2, 0, 1}; len(w.boots) != 3 || w.boots[0] != want[0] || w.boots[1] != want[1] || w.boots[2] != want[2] {
+			t.Fatalf("boots = %v, want %v", w.boots, want)
+		}
+		if len(w.dedupFIFO) != 2 || w.dedupFIFO[0] != 11 || w.dedupFIFO[1] != 13 {
+			t.Fatalf("FIFO = %v, want [11 13] (in-flight seq 12 must not ship)", w.dedupFIFO)
+		}
+		if e := w.dedup[11]; e == nil || !e.done || string(e.reply) != "r11" {
+			t.Fatalf("entry 11 = %+v", e)
+		}
+		if e := w.dedup[13]; e == nil || !e.done || len(e.reply) != 0 {
+			t.Fatalf("entry 13 = %+v", e)
+		}
+		w2 := b.adopted[bindKey{6, fn}]
+		if w2 == nil || len(w2.boots) != 1 || w2.boots[0] != 0 || len(w2.dedupFIFO) != 1 || w2.dedupFIFO[0] != 3 {
+			t.Fatalf("client 6 window = %+v", w2)
+		}
+		if _, leak := b.adopted[bindKey{5, fn + 1}]; leak {
+			t.Fatal("another function's ring shipped with the migration")
+		}
+
+		// Merge path: a target already serving this client folds the
+		// shipped window into the live ring.
+		live := &srvRing{client: 5, fn: fn, boot: 7}
+		live.dedupInsert(&dedupEntry{seq: 20, done: true})
+		c.srvRings[bindKey{5, fn}] = live
+		c.OnAdopt(fn, func(q *simtime.Proc, src int, app []byte) error { return nil })
+		if err := c.adoptMigState(p, 0, blob); err != nil {
+			t.Fatalf("merge adopt: %v", err)
+		}
+		if len(live.adoptedBoots) != 3 {
+			t.Fatalf("merged lineage = %v, want the 3 shipped boots", live.adoptedBoots)
+		}
+		if !live.bootKnown(2) || !live.bootKnown(7) || live.bootKnown(5) {
+			t.Fatal("bootKnown does not cover the merged lineage")
+		}
+		if live.dedupLookup(11) == nil || live.dedupLookup(13) == nil || live.dedupLookup(20) == nil {
+			t.Fatal("merged window lost entries")
+		}
+	})
+	run(t, cls)
+}

@@ -3,6 +3,7 @@ package lite
 import (
 	"errors"
 
+	"lite/internal/detrand"
 	"lite/internal/simtime"
 )
 
@@ -45,8 +46,10 @@ func (i *Instance) rpcRetryT(p *simtime.Proc, dst, fn int, input []byte, maxRepl
 	if fn >= FirstUserFunc && dst != i.node.ID {
 		meta = &callMeta{seq: i.seqID()}
 	}
+	dst = i.resolveMoved(dst, fn)
 	var lastErr error
 	timeouts := 0
+	movedHops := 0
 	for a := 0; a < attempts; a++ {
 		if i.stopped {
 			return nil, ErrNodeDead
@@ -54,10 +57,27 @@ func (i *Instance) rpcRetryT(p *simtime.Proc, dst, fn int, input []byte, maxRepl
 		if dst != i.node.ID && i.deadView[dst] {
 			return nil, ErrNodeDead
 		}
+		i.pacerWait(p, dst, fn)
 		epochBefore := i.epoch
 		out, err := i.rpcInternalFull(p, dst, fn, input, maxReply, pri, timeout, false, meta)
 		if err == nil {
 			return out, nil
+		}
+		var me *MovedError
+		if errors.As(err, &me) {
+			// The function migrated: learn the new home and re-issue
+			// there. A redirect is not a failure, so it does not consume
+			// a retry attempt; the hop bound catches a routing loop from
+			// wildly stale views.
+			i.learnMove(dst, fn, me.To)
+			movedHops++
+			if movedHops > len(i.dep.Instances)+1 {
+				return nil, err
+			}
+			i.obsReg().Add("lite.retry.moved", 1)
+			dst = i.resolveMoved(me.To, fn)
+			a--
+			continue
 		}
 		if !retryable(err) {
 			if errors.Is(err, ErrMaybeExecuted) {
@@ -75,11 +95,16 @@ func (i *Instance) rpcRetryT(p *simtime.Proc, dst, fn int, input []byte, maxRepl
 			i.obsReg().Add("lite.retry.overloads", 1)
 			timeouts = 0
 			var oe *OverloadError
-			if errors.As(err, &oe) && oe.RetryAfter > delay {
-				// The server estimated when this client's share frees
-				// up; waiting less than that just buys another shed.
-				i.obsReg().Add("lite.retry.hint_waits", 1)
-				delay = oe.RetryAfter
+			if errors.As(err, &oe) {
+				// The hint also feeds the client-side pacer, so sibling
+				// callers on this node hold off instead of piling on.
+				i.pacerLearn(p, dst, fn, oe.RetryAfter)
+				if oe.RetryAfter > delay {
+					// The server estimated when this client's share
+					// frees up; waiting less just buys another shed.
+					i.obsReg().Add("lite.retry.hint_waits", 1)
+					delay = oe.RetryAfter
+				}
 			}
 		} else {
 			timeouts++
@@ -117,15 +142,6 @@ func (i *Instance) retryDelay(p *simtime.Proc, a int) simtime.Time {
 	if d > maxRetryBackoff {
 		d = maxRetryBackoff
 	}
-	j := splitmix64(uint64(p.Now()) ^ uint64(i.node.ID)<<40 ^ uint64(a)<<56)
+	j := detrand.Mix64(uint64(p.Now()) ^ uint64(i.node.ID)<<40 ^ uint64(a)<<56)
 	return d + simtime.Time(j%uint64(d/2+1))
-}
-
-// splitmix64 is the standard 64-bit finalizer; deterministic and
-// stateless, which is all the jitter needs.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
 }

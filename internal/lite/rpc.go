@@ -33,6 +33,7 @@ const (
 	tagHeadUpd  = 3
 	tagRPCShed  = 4 // admission control: call shed, token in the low 28 bits
 	tagRPCMaybe = 5 // dedup ambiguity: retry crossed a server restart
+	tagRPCMoved = 6 // migration fence: function moved, new home in the reply buffer
 
 	// MaxFunc is the exclusive upper bound on RPC function IDs.
 	MaxFunc = 32
@@ -75,6 +76,8 @@ func encodeReplyImm(token uint32) uint32 { return uint32(tagRPCRep)<<28 | token&
 func encodeShedImm(token uint32) uint32 { return uint32(tagRPCShed)<<28 | token&0x0fffffff }
 
 func encodeMaybeImm(token uint32) uint32 { return uint32(tagRPCMaybe)<<28 | token&0x0fffffff }
+
+func encodeMovedImm(token uint32) uint32 { return uint32(tagRPCMoved)<<28 | token&0x0fffffff }
 
 // Ring message header layout (all little endian):
 //
@@ -151,6 +154,29 @@ type srvRing struct {
 	// crash teardown.
 	dedup     map[uint64]*dedupEntry
 	dedupFIFO []uint64
+
+	// adoptedBoots lists earlier incarnations whose dedup history this
+	// ring inherited through a live migration: the boot stamps of the
+	// source rings whose windows were transferred in (chains of
+	// migrations accumulate lineage). A retry stamped with any of these
+	// boots is covered by this window, so the restart-ambiguity check
+	// must not fire for it.
+	adoptedBoots []uint64
+}
+
+// bootKnown reports whether the given boot stamp's dedup history is
+// held by this ring: its own incarnation, or one it adopted through
+// migration.
+func (r *srvRing) bootKnown(boot uint64) bool {
+	if boot == r.boot {
+		return true
+	}
+	for _, b := range r.adoptedBoots {
+		if b == boot {
+			return true
+		}
+	}
+	return false
 }
 
 // dedupWindow bounds the per-(client, function) duplicate-suppression
@@ -211,6 +237,10 @@ type rpcFunc struct {
 	queue   []*Call
 	cond    simtime.Cond
 	handler func(p *simtime.Proc, c *Call)
+	// executing counts remote calls dequeued by a server thread whose
+	// reply has not yet posted. Drain's quiescence condition is
+	// len(queue) == 0 && executing == 0.
+	executing int
 }
 
 // Call is a received RPC call. The server thread must reply exactly
@@ -236,6 +266,11 @@ type Call struct {
 	// time back into the policy's EWMA.
 	admCost int64
 	recvAt  simtime.Time
+
+	// exec points at the function whose executing count this call holds
+	// (set when a server thread dequeues a remote call, cleared when
+	// the reply posts); Drain uses the count to wait out in-flight work.
+	exec *rpcFunc
 
 	// Node-local fast path.
 	local      bool
@@ -271,6 +306,7 @@ const (
 	updShed          // admission control: shed notification (+ optional 8-byte Retry-After hint)
 	updReply         // cached-reply replay for a deduplicated retry
 	updMaybe         // dedup ambiguity: retry crossed a server restart
+	updMoved         // migration: function moved, 8-byte new-home payload
 )
 
 // headUpdate is queued to the background header-update thread.
@@ -304,6 +340,14 @@ func (i *Instance) RegisterRPC(id int) error {
 	}
 	i.funcs[id] = &rpcFunc{id: id}
 	return nil
+}
+
+// RPCRegistered reports whether fn is registered on this node. A node
+// adopting a migrated shard uses it to decide whether serving must be
+// stood up from scratch or merged into an existing registration.
+func (i *Instance) RPCRegistered(id int) bool {
+	_, ok := i.funcs[id]
+	return ok
 }
 
 func (i *Instance) registerSystemFuncs() {
@@ -786,8 +830,13 @@ func (i *Instance) recvRPCInternal(p *simtime.Proc, fn int) (*Call, error) {
 	call.recvAt = p.Now()
 	if !call.local {
 		// Advance the ring header; the new value ships from the
-		// background thread (Figure 9, step f).
-		i.queueHeadUpdate(p, call.Src, call.Func, call.headDelta)
+		// background thread (Figure 9, step f). headDelta is zero for
+		// calls that were fenced and re-dispatched (credited at hold).
+		if call.headDelta > 0 {
+			i.queueHeadUpdate(p, call.Src, call.Func, call.headDelta)
+		}
+		call.exec = f
+		f.executing++
 	}
 	return call, nil
 }
@@ -823,6 +872,10 @@ func (i *Instance) replyRPCInternal(p *simtime.Proc, c *Call, output []byte, pri
 		c.recvAt = 0
 	}
 	i.admRelease(c)
+	if c.exec != nil {
+		c.exec.executing--
+		c.exec = nil
+	}
 	post := reg.StartSpan(p.Now(), "lite.rpc.post", parent)
 	i.qos.throttle(p, pri, int64(len(output)))
 	err := i.postShared(p, c.Src, pri, []rnic.WR{{
@@ -1014,6 +1067,30 @@ func (i *Instance) handleRecvCQE(p *simtime.Proc, cqe rnic.CQE) {
 			pc.done = true
 			pc.cond.Broadcast(i.cls.Env)
 		}
+	case tagRPCMoved:
+		token := cqe.Imm & 0x0fffffff
+		if pc, ok := i.pending[token]; ok {
+			delete(i.pending, token)
+			if pc.abandoned {
+				// The moved notice raced with the waiter's timeout; no
+				// reply will ever land, so free the quarantined buffer.
+				i.scratch.release(token)
+				return
+			}
+			i.obsReg().Add("lite.rpc.moved", 1)
+			pc.err = ErrMoved
+			if cqe.Len >= 8 {
+				// The fence shipped the new home node in the reply
+				// buffer; surface it through the typed error so the
+				// retry layer can re-route without consuming an attempt.
+				var buf [8]byte
+				if i.node.Mem.Read(pc.respPA, buf[:]) == nil {
+					pc.err = &MovedError{To: int(binary.LittleEndian.Uint64(buf[:]))}
+				}
+			}
+			pc.done = true
+			pc.cond.Broadcast(i.cls.Env)
+		}
 	}
 }
 
@@ -1057,6 +1134,18 @@ func (i *Instance) handleRPCReq(p *simtime.Proc, src, fn int, off int64) {
 		i.queueHeadUpdate(p, src, fn, delta)
 		return
 	}
+	if to, ok := i.moved[migKey{i.node.ID, fn}]; ok {
+		// This function migrated away from this node. The ring stays
+		// alive exactly for this moment: stale clients (and retries of
+		// calls whose replies were lost) are answered with the typed
+		// moved notice carrying the new home, never silently dropped.
+		// Checked before the dedup lookup — the windows transferred with
+		// the migration, so any replay must happen at the new home.
+		i.obsReg().Add("lite.rpc.moved_bounce", 1)
+		i.queueHeadUpdate(p, src, fn, delta)
+		i.queueNotify(p, headUpdate{kind: updMoved, client: src, fn: fn, token: token, replyPA: replyPA, reply: encodeMovedTo(to)})
+		return
+	}
 	f, ok := i.funcs[fn]
 	if !ok {
 		// Unknown function: reclaim the ring space; the client times out.
@@ -1080,7 +1169,7 @@ func (i *Instance) handleRPCReq(p *simtime.Proc, src, fn int, off int64) {
 			}
 			return
 		}
-		if attempt > 0 && boot != ring.boot {
+		if attempt > 0 && !ring.bootKnown(boot) {
 			// A retry of a timed-out call whose first attempt targeted
 			// an earlier incarnation of this server: the dedup window
 			// that could have remembered it died with that
@@ -1092,6 +1181,26 @@ func (i *Instance) handleRPCReq(p *simtime.Proc, src, fn int, off int64) {
 			i.queueNotify(p, headUpdate{kind: updMaybe, client: src, fn: fn, token: token})
 			return
 		}
+	}
+	if ms := i.migrating[fn]; ms != nil && ms.fenced {
+		// The function is mid-migration and fenced: hold the call
+		// instead of executing it. On commit every held call is answered
+		// with the moved notice (the client re-routes, zero failures);
+		// on abort they dispatch normally. The dedup entry is inserted
+		// NOW so a retry arriving while the call is held redirects into
+		// it rather than being held (and later dispatched) a second
+		// time. The ring credit was already paid above, so the delta is
+		// zeroed to keep LT_recvRPC from crediting it again on abort.
+		i.obsReg().Add("lite.migrate.held", 1)
+		i.queueHeadUpdate(p, src, fn, delta)
+		call.headDelta = 0
+		if seq != 0 {
+			e := &dedupEntry{seq: seq, call: call}
+			call.ded = e
+			ring.dedupInsert(e)
+		}
+		ms.held = append(ms.held, call)
+		return
 	}
 	if fn >= FirstUserFunc {
 		reg := i.obsReg()
@@ -1199,6 +1308,15 @@ func (i *Instance) notifyWR(u headUpdate) rnic.WR {
 		}
 	case updMaybe:
 		wr.Imm = encodeMaybeImm(u.token)
+	case updMoved:
+		// Migration fence notice: the 8-byte new-home payload lands in
+		// the call's reply buffer ahead of the IMM (every reply buffer
+		// owns at least a cache line, so it always has a landing zone).
+		wr.Imm = encodeMovedImm(u.token)
+		wr.Inline = i.wantInline(int64(len(u.reply)))
+		wr.LocalBuf = u.reply
+		wr.Len = int64(len(u.reply))
+		wr.RemoteOff = int64(u.replyPA)
 	case updReply:
 		wr.Inline = i.wantInline(int64(len(u.reply)))
 		wr.LocalBuf = u.reply

@@ -83,6 +83,15 @@ type Config struct {
 	// RCTimeout is the reliable-connection transport timeout after
 	// which an unacknowledged operation completes in error.
 	RCTimeout time.Duration
+	// QPConnectTime is the cost of establishing one RC connection the
+	// cold way: the rdma_cm exchange (route resolution, REQ/REP/RTU)
+	// plus driver-side INIT→RTR→RTS modify_qp transitions. Hundreds of
+	// microseconds in practice — the figure KRCORE-style leasing avoids.
+	QPConnectTime time.Duration
+	// QPLeaseGrant is the cost of leasing an already-established QP
+	// from a kernel-resident connection pool: a lookup and an ownership
+	// handoff, no wire exchange and no QP state transitions.
+	QPLeaseGrant time.Duration
 
 	// ---- Host memory ----
 
@@ -172,6 +181,8 @@ func Default() Config {
 		WireHeader:        30,
 		AckBytes:          16,
 		RCTimeout:         4 * time.Millisecond,
+		QPConnectTime:     600 * time.Microsecond,
+		QPLeaseGrant:      1 * time.Microsecond,
 
 		PageSize:         4096,
 		MemcpyBandwidth:  6e9,

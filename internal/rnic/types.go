@@ -295,6 +295,12 @@ func (q *QP) Connect(remoteNode, remoteQPN int) {
 // Connected reports whether an RC QP has been paired.
 func (q *QP) Connected() bool { return q.conn }
 
+// RemoteNode returns the connected peer's node id (RC only).
+func (q *QP) RemoteNode() int { return q.remoteNode }
+
+// RemoteQPN returns the connected peer's queue pair number (RC only).
+func (q *QP) RemoteQPN() int { return q.remoteQPN }
+
 // PostRecv posts a receive buffer. The buffer's MR must belong to the
 // same node as the QP.
 func (q *QP) PostRecv(r PostedRecv) error {

@@ -143,6 +143,24 @@ func ConnectRC(a, b *Context) (*rnic.QP, *rnic.QP) {
 	return qa, qb
 }
 
+// ConnectQP performs the cold RC connection establishment for an
+// already-created QP: the rdma_cm REQ/REP/RTU exchange plus the
+// INIT→RTR→RTS driver transitions, charged to the calling process at
+// Params.QPConnectTime. This is the path leasing avoids.
+func (c *Context) ConnectQP(p *simtime.Proc, qp *rnic.QP, remoteNode, remoteQPN int) {
+	p.Work(simtime.Time(c.cfg.QPConnectTime))
+	qp.Connect(remoteNode, remoteQPN)
+}
+
+// LeaseQP hands out a pre-established QP from a kernel connection
+// pool: an ownership transfer with no wire exchange and no QP state
+// machine, charged at Params.QPLeaseGrant. The QP must already be
+// connected (it was built and connected ahead of demand).
+func (c *Context) LeaseQP(p *simtime.Proc, qp *rnic.QP) *rnic.QP {
+	p.Work(simtime.Time(c.cfg.QPLeaseGrant))
+	return qp
+}
+
 // Dispatcher demultiplexes completions of one CQ by work-request id,
 // so several processes can issue blocking operations over a shared CQ.
 type Dispatcher struct {
