@@ -42,6 +42,7 @@ define check_cover
 endef
 cover:
 	$(call check_cover,./internal/lite/,$(COVER_FLOOR))
+	$(call check_cover,./internal/tenant/,$(COVER_FLOOR))
 	$(call check_cover,./internal/faults/,$(COVER_FLOOR_HARNESS))
 	$(call check_cover,./internal/load/,$(COVER_FLOOR_HARNESS))
 
@@ -57,7 +58,7 @@ bench:
 # experiment subset (each experiment finishes in under a second of
 # wall time).
 bench-smoke:
-	$(GO) run ./cmd/litebench -metrics -json BENCH_litebench.json trace breakdown tput tail saturate fairness lease drain
+	$(GO) run ./cmd/litebench -metrics -json BENCH_litebench.json trace breakdown tput tail saturate fairness lease drain tenants
 
 # bench-guard re-runs the experiments recorded in the committed feed
 # and fails if any virtual-time figure drifted: performance changes

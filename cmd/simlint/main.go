@@ -27,12 +27,14 @@
 //
 // Import renames are honoured: `import t "time"` followed by t.Now()
 // is still flagged, and a local variable named "time" shadowing the
-// package is not. The map-range rule infers map-typed expressions from
-// the file alone (declarations, make calls, literals, parameters, and
-// receiver fields declared in the same file); cross-file types are out
-// of reach for a single-file parse, so the rule is best-effort by
-// design — it exists to catch the common in-file leak, not to prove
-// determinism.
+// package is not. The map-range rule infers map-typed expressions
+// package-wide: files are linted in sibling groups (one group per
+// directory), so struct map fields and package-level map variables
+// declared in one file are recognized when a sibling file ranges over
+// them. A local declaration shadowing a package-level map name is
+// honoured and not flagged. Full type resolution is still out of
+// scope, so the rule remains best-effort by design — it exists to
+// catch the common leak, not to prove determinism.
 package main
 
 import (
@@ -42,6 +44,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -57,7 +60,10 @@ func main() {
 	if len(os.Args) > 1 {
 		root = os.Args[1]
 	}
-	var findings []finding
+	// Group files by directory so each package is linted as a unit:
+	// the map-range rule resolves struct fields and package-level maps
+	// across sibling files.
+	groups := map[string][]string{}
 	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
 		if err != nil {
 			return err
@@ -71,13 +77,27 @@ func main() {
 		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
 			return nil
 		}
-		fs, errs := lintFile(path)
-		findings = append(findings, fs...)
-		return errs
+		dir := filepath.Dir(path)
+		groups[dir] = append(groups[dir], path)
+		return nil
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 		os.Exit(2)
+	}
+	dirs := make([]string, 0, len(groups))
+	for dir := range groups {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	var findings []finding
+	for _, dir := range dirs {
+		fs, err := lintFiles(groups[dir])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
 	}
 	for _, f := range findings {
 		fmt.Printf("%s: %s\n", f.pos, f.msg)
@@ -94,12 +114,37 @@ var bannedSelectors = map[string]string{
 	"Since": "use virtual-time subtraction instead of the host clock",
 }
 
+// lintFile lints one file in isolation (no sibling context).
 func lintFile(path string) ([]finding, error) {
+	return lintFiles([]string{path})
+}
+
+// lintFiles lints one package's files together: map declarations
+// (struct fields, package-level vars) are resolved across the whole
+// group before any file's ranges are checked.
+func lintFiles(paths []string) ([]finding, error) {
 	fset := token.NewFileSet()
-	file, err := parser.ParseFile(fset, path, nil, 0)
-	if err != nil {
-		return nil, err
+	files := make([]*ast.File, 0, len(paths))
+	for _, path := range paths {
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, file)
 	}
+	structFields, globals := pkgMapDecls(files)
+	var findings []finding
+	for i, file := range files {
+		findings = append(findings, lintWallClock(fset, file)...)
+		strictSerial := strings.Contains(filepath.ToSlash(paths[i]), "internal/lite/")
+		findings = append(findings, lintMapRange(fset, file, strictSerial, structFields, globals)...)
+	}
+	return findings, nil
+}
+
+// lintWallClock flags math/rand imports and host-clock reads through
+// the time package in one file.
+func lintWallClock(fset *token.FileSet, file *ast.File) []finding {
 	var findings []finding
 
 	// timeNames collects the local names the "time" package is
@@ -150,9 +195,7 @@ func lintFile(path string) ([]finding, error) {
 			return true
 		})
 	}
-	strictSerial := strings.Contains(filepath.ToSlash(path), "internal/lite/")
-	findings = append(findings, lintMapRange(fset, file, strictSerial)...)
-	return findings, nil
+	return findings
 }
 
 // serializationFunc reports whether a function name marks a
@@ -162,6 +205,61 @@ func serializationFunc(name string) bool {
 	return strings.HasPrefix(lower, "encode") ||
 		strings.HasPrefix(lower, "serialize") ||
 		strings.HasPrefix(lower, "marshal")
+}
+
+// isMapValued reports whether an expression is statically known to
+// produce a map: a map composite literal or make(map[...]...).
+func isMapValued(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		_, ok := v.Type.(*ast.MapType)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) > 0 {
+			_, ok := v.Args[0].(*ast.MapType)
+			return ok
+		}
+	}
+	return false
+}
+
+// pkgMapDecls resolves map declarations across one package's files:
+// struct fields of map type (keyed "StructName.field") and
+// package-level variables of map type (bare names). A method or
+// function in any file is then checked against declarations from every
+// sibling.
+func pkgMapDecls(files []*ast.File) (fields, globals map[string]bool) {
+	fields = map[string]bool{}
+	globals = map[string]bool{}
+	for _, file := range files {
+		for k := range mapFields(file) {
+			fields[k] = true
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if _, isMap := vs.Type.(*ast.MapType); isMap {
+					for _, name := range vs.Names {
+						globals[name.Name] = true
+					}
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) && isMapValued(vs.Values[i]) {
+						globals[name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return fields, globals
 }
 
 // mapFields collects the fields of map type declared by struct types in
@@ -239,19 +337,6 @@ func collectMapExprs(fn *ast.FuncDecl, structFields map[string]bool) mapExprs {
 			}
 		}
 	}
-	isMapValued := func(e ast.Expr) bool {
-		switch v := e.(type) {
-		case *ast.CompositeLit:
-			_, ok := v.Type.(*ast.MapType)
-			return ok
-		case *ast.CallExpr:
-			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) > 0 {
-				_, ok := v.Args[0].(*ast.MapType)
-				return ok
-			}
-		}
-		return false
-	}
 	ast.Inspect(fn, func(n ast.Node) bool {
 		switch v := n.(type) {
 		case *ast.ValueSpec:
@@ -314,24 +399,50 @@ var orderSinks = map[string]bool{
 // lintMapRange flags map iterations whose visit order escapes: an
 // append into a collector declared outside the loop (unless the same
 // function later sorts that collector), or a direct write to a
-// builder/encoder sink from inside the loop body.
-func lintMapRange(fset *token.FileSet, file *ast.File, strictSerial bool) []finding {
+// builder/encoder sink from inside the loop body. structFields and
+// globals carry the package-wide map declarations from pkgMapDecls.
+func lintMapRange(fset *token.FileSet, file *ast.File, strictSerial bool, structFields, globals map[string]bool) []finding {
 	var findings []finding
-	structFields := mapFields(file)
 	for _, decl := range file.Decls {
 		fn, ok := decl.(*ast.FuncDecl)
 		if !ok || fn.Body == nil {
 			continue
 		}
 		exprs := collectMapExprs(fn, structFields)
+		// rangesMap reports whether a range subject is a known map: a
+		// local/param/receiver-field map, or a package-level map from any
+		// sibling file — unless a declaration inside this function
+		// shadows the package-level name.
+		rangesMap := func(x ast.Expr) (string, bool) {
+			path := exprPath(x)
+			if path == "" {
+				return "", false
+			}
+			if exprs.names[path] || exprs.fields[path] {
+				return path, true
+			}
+			if !globals[path] {
+				return path, false
+			}
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				return path, false
+			}
+			if id.Obj != nil {
+				if d, ok := id.Obj.Decl.(ast.Node); ok && d.Pos() >= fn.Pos() && d.End() <= fn.End() {
+					return path, false // shadowed by a local declaration
+				}
+			}
+			return path, true
+		}
 		if strictSerial && serializationFunc(fn.Name.Name) {
 			ast.Inspect(fn, func(n ast.Node) bool {
 				rng, ok := n.(*ast.RangeStmt)
 				if !ok {
 					return true
 				}
-				path := exprPath(rng.X)
-				if path == "" || !(exprs.names[path] || exprs.fields[path]) {
+				path, isMap := rangesMap(rng.X)
+				if !isMap {
 					return true
 				}
 				findings = append(findings, finding{
@@ -371,8 +482,8 @@ func lintMapRange(fset *token.FileSet, file *ast.File, strictSerial bool) []find
 			if !ok {
 				return true
 			}
-			path := exprPath(rng.X)
-			if path == "" || !(exprs.names[path] || exprs.fields[path]) {
+			path, isMap := rangesMap(rng.X)
+			if !isMap {
 				return true
 			}
 			ast.Inspect(rng.Body, func(b ast.Node) bool {

@@ -67,10 +67,71 @@ func TestMapRangeFixtures(t *testing.T) {
 	}
 }
 
+// TestCrossFilePackageAnalysis proves the package-wide declaration
+// resolution: b.go's ranges use a struct map field and package-level
+// maps declared only in a.go, so linting b.go alone finds nothing,
+// while linting the pair as a package fires on exactly the BAD-marked
+// lines (and honours the local shadow of the global's name).
+func TestCrossFilePackageAnalysis(t *testing.T) {
+	a := filepath.Join("testdata", "xfile", "a.go")
+	b := filepath.Join("testdata", "xfile", "b.go")
+
+	alone, err := lintFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range alone {
+		t.Errorf("single-file lint of b.go should be blind to a.go's declarations, got: %s: %s", f.pos, f.msg)
+	}
+
+	findings, err := lintFiles([]string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{}
+	src, err := readLines(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range src {
+		if strings.Contains(line, "// BAD") {
+			want[i+1] = true
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture has no BAD markers; the test is vacuous")
+	}
+	got := map[int]int{}
+	for _, f := range findings {
+		marked := 0
+		for line := range want {
+			if line <= f.pos.Line && line > marked {
+				marked = line
+			}
+		}
+		if marked == 0 {
+			t.Errorf("unexpected finding outside any BAD block: %s: %s", f.pos, f.msg)
+			continue
+		}
+		got[marked]++
+	}
+	for line := range want {
+		if got[line] != 1 {
+			t.Errorf("BAD marker at line %d produced %d finding(s), want exactly 1", line, got[line])
+		}
+	}
+	if len(findings) != len(want) {
+		for _, f := range findings {
+			t.Logf("finding: %s: %s", f.pos, f.msg)
+		}
+		t.Fatalf("%d findings for %d BAD markers", len(findings), len(want))
+	}
+}
+
 // TestCleanOnOwnSource keeps the linter self-hosting: its own source
 // (and by extension every non-fixture file it ships with) must pass.
 func TestCleanOnOwnSource(t *testing.T) {
-	findings, err := lintFile("main.go")
+	findings, err := lintFiles([]string{"main.go", "main_test.go"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,17 @@
+// Package xfile exercises the cross-file map-range analysis: the map
+// declarations live here, the ranges live in b.go. Linting b.go alone
+// must find nothing; linting the pair as a package must fire on every
+// BAD marker in b.go. The files are parsed, never compiled.
+package xfile
+
+// store's map field is only visible to b.go through package-wide
+// declaration resolution.
+type store struct {
+	entries map[string]int
+	label   string
+}
+
+// Package-level maps declared by type and by initializer.
+var globalIndex map[string]int
+
+var madeIndex = make(map[int]string)

@@ -1,0 +1,53 @@
+package xfile
+
+import "sort"
+
+// badSiblingField ranges over a receiver field whose map type is
+// declared in a.go.
+func (s *store) badSiblingField() []string {
+	var keys []string
+	for k := range s.entries { // BAD
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// badGlobalRange ranges over a package-level map declared in a.go.
+func badGlobalRange() []string {
+	var keys []string
+	for k := range globalIndex { // BAD
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// badMadeGlobal: package-level maps introduced via make are tracked
+// too.
+func badMadeGlobal() []int {
+	var out []int
+	for k := range madeIndex { // BAD
+		out = append(out, k)
+	}
+	return out
+}
+
+// goodSortedSibling: collect-then-sort stays sanctioned across files.
+func goodSortedSibling(s *store) []string {
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodShadowedGlobal: a local declaration shadowing the package-level
+// map name is honoured — this ranges over a slice.
+func goodShadowedGlobal(xs []string) []string {
+	globalIndex := xs
+	var out []string
+	for _, k := range globalIndex {
+		out = append(out, k)
+	}
+	return out
+}

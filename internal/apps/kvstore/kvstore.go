@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 
 	"lite/internal/cluster"
 	"lite/internal/lite"
@@ -144,6 +145,34 @@ type server struct {
 	gen   int
 	index map[string]*entry
 	seq   int
+	// tcs caches per-tenant clients so a tenant's value LMRs are
+	// allocated in that tenant's namespace (another tenant cannot map
+	// or read them, even knowing the LMR name).
+	tcs map[uint16]*lite.Client
+}
+
+// tenantPrefix is the key-namespace prefix a tenant's requests must
+// carry; the server derives the required prefix from the transport's
+// tenant label, so a tenant cannot route into another tenant's keys by
+// forging request bodies.
+func tenantPrefix(ten uint16) string { return fmt.Sprintf("t%d/", ten) }
+
+// allocClient returns the client value LMRs are allocated with: the
+// calling tenant's client, so the LMR lands in its namespace. Kernel
+// callers (tenant 0) keep the untenanted kernel client.
+func (srv *server) allocClient(c *lite.Client, ten uint16) *lite.Client {
+	if ten == 0 {
+		return c
+	}
+	if srv.tcs == nil {
+		srv.tcs = make(map[uint16]*lite.Client)
+	}
+	tc := srv.tcs[ten]
+	if tc == nil {
+		tc = srv.store.dep.Instance(srv.node).TenantClient(ten)
+		srv.tcs[ten] = tc
+	}
+	return tc
 }
 
 func (srv *server) loop(p *simtime.Proc) {
@@ -159,9 +188,15 @@ func (srv *server) handle(p *simtime.Proc, c *lite.Client, call *lite.Call) []by
 	var req request
 	var resp response
 	if json.Unmarshal(call.Input, &req) == nil {
+		// Tenant calls only reach their own key namespace: the required
+		// prefix comes from the transport's tenant label, not the
+		// request body, so it cannot be forged.
+		if ten := call.Tenant; ten != 0 && !strings.HasPrefix(req.Key, tenantPrefix(ten)) {
+			req.Op = "denied"
+		}
 		switch req.Op {
 		case "put":
-			resp = srv.put(p, c, req.Key, req.Value)
+			resp = srv.put(p, srv.allocClient(c, call.Tenant), req.Key, req.Value)
 		case "lookup":
 			if e, ok := srv.index[req.Key]; ok {
 				resp = response{OK: true, Name: e.name, Len: e.size, Version: e.version}
@@ -217,6 +252,10 @@ func (srv *server) put(p *simtime.Proc, c *lite.Client, key string, value []byte
 type Client struct {
 	store *Store
 	c     *lite.Client
+	// prefix is the tenant key-namespace prefix ("t<id>/", empty for
+	// kernel clients); it participates in routing and the index, so a
+	// tenant's keys hash and migrate like any other keys.
+	prefix string
 	// cache maps keys to mapped value handles for the one-sided path.
 	// It is valid only for one membership epoch: a node death or
 	// rejoin can re-home keys, so a cached handle from an older epoch
@@ -239,6 +278,19 @@ type cachedHandle struct {
 // NewClient returns a client bound to one node.
 func (s *Store) NewClient(node int) *Client {
 	return &Client{store: s, c: s.dep.Instance(node).KernelClient(), cache: make(map[string]*cachedHandle)}
+}
+
+// NewTenantClient returns a client bound to one node that issues every
+// operation as the given tenant: keys live under the tenant's own
+// namespace, values are allocated as tenant-owned LMRs, and the
+// one-sided get path is subject to the lite layer's tenant checks.
+func (s *Store) NewTenantClient(node int, ten uint16) *Client {
+	k := s.NewClient(node)
+	if ten != 0 {
+		k.c = s.dep.Instance(node).TenantClient(ten)
+		k.prefix = tenantPrefix(ten)
+	}
+	return k
 }
 
 // serverFor routes a key from this client's view of the membership: a
@@ -292,6 +344,7 @@ func (k *Client) metaRPC(p *simtime.Proc, dst int, req []byte) ([]byte, error) {
 
 // Put stores value under key via the metadata path.
 func (k *Client) Put(p *simtime.Proc, key string, value []byte) error {
+	key = k.prefix + key
 	req, _ := json.Marshal(request{Op: "put", Key: key, Value: value})
 	out, err := k.metaRPC(p, k.serverFor(key), req)
 	if err != nil {
@@ -306,10 +359,65 @@ func (k *Client) Put(p *simtime.Proc, key string, value []byte) error {
 	return nil
 }
 
+// PutOnce stores value under key with a single unretried RPC. Open-loop
+// load harnesses use it so overload sheds and timeouts surface to the
+// caller (errors.Is lite.ErrOverloaded / lite.ErrTimeout) instead of
+// dissolving into retries.
+func (k *Client) PutOnce(p *simtime.Proc, key string, value []byte) error {
+	key = k.prefix + key
+	req, _ := json.Marshal(request{Op: "put", Key: key, Value: value})
+	out, err := k.c.RPC(p, k.serverFor(key), kvFn, req, 512)
+	if err != nil {
+		return err
+	}
+	var resp response
+	if err := json.Unmarshal(out, &resp); err != nil || !resp.OK {
+		return fmt.Errorf("kvstore: put %q failed", key)
+	}
+	delete(k.cache, key)
+	return nil
+}
+
+// LookupOnce resolves key's metadata with a single unretried RPC and
+// reports whether it exists, without mapping the value. The raw
+// metadata-path counterpart of PutOnce for load harnesses.
+func (k *Client) LookupOnce(p *simtime.Proc, key string) error {
+	key = k.prefix + key
+	req, _ := json.Marshal(request{Op: "lookup", Key: key})
+	out, err := k.c.RPC(p, k.serverFor(key), kvFn, req, 512)
+	if err != nil {
+		return err
+	}
+	var resp response
+	if err := json.Unmarshal(out, &resp); err != nil || !resp.OK {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// ResolveName returns the LMR name currently backing key, without
+// mapping it. Isolation probes use it (through a kernel client) to
+// learn a victim tenant's LMR name and prove that mapping it as
+// another tenant is denied.
+func (k *Client) ResolveName(p *simtime.Proc, key string) (string, error) {
+	key = k.prefix + key
+	req, _ := json.Marshal(request{Op: "lookup", Key: key})
+	out, err := k.metaRPC(p, k.serverFor(key), req)
+	if err != nil {
+		return "", err
+	}
+	var resp response
+	if err := json.Unmarshal(out, &resp); err != nil || !resp.OK {
+		return "", ErrNotFound
+	}
+	return resp.Name, nil
+}
+
 // Get fetches the value for key. The hot path is one one-sided
 // LT_read against the cached handle; version mismatches and revoked
 // handles fall back to the metadata path.
 func (k *Client) Get(p *simtime.Proc, key string) ([]byte, error) {
+	key = k.prefix + key
 	if e := k.c.MembershipEpoch(); e != k.cacheEpoch {
 		k.cache = make(map[string]*cachedHandle)
 		k.cacheEpoch = e
@@ -364,6 +472,7 @@ func (k *Client) resolve(p *simtime.Proc, key string) (*cachedHandle, error) {
 
 // Delete removes a key.
 func (k *Client) Delete(p *simtime.Proc, key string) error {
+	key = k.prefix + key
 	req, _ := json.Marshal(request{Op: "delete", Key: key})
 	out, err := k.metaRPC(p, k.serverFor(key), req)
 	if err != nil {

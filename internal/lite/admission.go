@@ -1,6 +1,9 @@
 package lite
 
-import "lite/internal/simtime"
+import (
+	"lite/internal/params"
+	"lite/internal/simtime"
+)
 
 // Cost-aware, per-client-fair admission control.
 //
@@ -42,10 +45,15 @@ const (
 	// claim) cannot overflow the int64 accounting that sums them.
 	maxAdmCost = int64(1) << 40
 
-	// maxAdmHint caps the Retry-After hint carried in a shed
-	// notification; a hint is advice about queue drain, not a lease,
-	// and must never park a client for longer than a timeout would.
-	maxAdmHint = simtime.Time(2_000_000) // 2ms
+	// maxTenantWeight clamps a tenant's QoS weight so weight x accrual
+	// products stay far from int64 overflow.
+	maxTenantWeight = int64(1) << 10
+
+	// admAccrueRebase is the accrual-clock value at which tenant
+	// accounting rebases (the monotonic admitted-cost counter and every
+	// tenant's snapshot shift down together) so the clock can never
+	// overflow int64 on a long run.
+	admAccrueRebase = int64(1) << 48
 )
 
 // ewmaInt is an integer exponentially-weighted moving average. The
@@ -79,6 +87,20 @@ type clientAdm struct {
 	deficit int64 // unused share carried from the previous round
 }
 
+// tenantAdm is one tenant's weighted admission accounting for one
+// function. Unlike clientAdm's round-scoped shares, tenants draw from
+// a credit bank that refills in proportion to their QoS weight, which
+// stays meaningful even when thousands of sporadic tenants each hold a
+// per-round share smaller than a single call's cost.
+type tenantAdm struct {
+	w      int64 // QoS weight (shares of the admission budget)
+	credit int64 // banked admission credit, in cost units
+	lastA  int64 // fnAdm.accrued snapshot at the last credit refresh
+	rem    int64 // accrual division remainder, so credit is exact
+	cost   int64 // admitted cost still in flight
+	calls  int   // admitted calls still in flight
+}
+
 // fnAdm is the per-function fair-admission state.
 type fnAdm struct {
 	svc     ewmaInt // observed handler service time, nanoseconds
@@ -86,9 +108,41 @@ type fnAdm struct {
 	total   int64   // admitted in-flight cost across all clients
 	round   int64   // cost admitted in the current DRR round
 	clients map[int]*clientAdm
+
+	// Tenant-weighted regime (nonzero tenant IDs only). accrued is a
+	// monotonic clock of admitted tenant cost; each tenant's credit is
+	// lazily topped up from it in proportion to weight. The map is
+	// bounded by the number of registered tenants and never GC'd: a
+	// tenant's bank is its QoS state, not per-round scratch.
+	tenants map[uint16]*tenantAdm
+	tsumW   int64 // sum of weights of tenants seen by this function
+	accrued int64 // admitted tenant cost, monotonic (rebased, see below)
+
+	// Caps from params.Config (admFor overwrites the packaged
+	// defaults with the deployment's config).
+	hintCap    simtime.Time // Retry-After ceiling (AdmissionHintCap)
+	bankShares int64        // deficit/credit cap in shares (AdmissionBankShares)
 }
 
-func newFnAdm() *fnAdm { return &fnAdm{clients: make(map[int]*clientAdm)} }
+func newFnAdm() *fnAdm {
+	def := params.Default()
+	return &fnAdm{
+		clients:    make(map[int]*clientAdm),
+		tenants:    make(map[uint16]*tenantAdm),
+		hintCap:    simtime.Time(def.AdmissionHintCap),
+		bankShares: int64(def.AdmissionBankShares),
+	}
+}
+
+// unit is the average per-call cost — the denomination the budget,
+// shares, and tenant credit caps are all expressed in.
+func (a *fnAdm) unit() int64 {
+	u := a.svc.v + a.in.v
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
 
 // callCost estimates the cost of admitting one call with the given
 // input size.
@@ -106,11 +160,7 @@ func (a *fnAdm) callCost(bytes int64) int64 {
 // budget is the total in-flight cost the function accepts: the depth
 // high-water mark expressed in cost units via the average call cost.
 func (a *fnAdm) budget(hw int) int64 {
-	unit := a.svc.v + a.in.v
-	if unit < 1 {
-		unit = 1
-	}
-	b := int64(hw) * unit
+	b := int64(hw) * a.unit()
 	if b < 1 {
 		b = 1
 	}
@@ -162,8 +212,8 @@ func (a *fnAdm) endRound(share int64) {
 		// it would immediately spend to stay over share.
 		if spare := share - c.used; spare > 0 && c.cost < share {
 			c.deficit += spare
-			if c.deficit > 2*share {
-				c.deficit = 2 * share
+			if lim := a.bankShares * share; c.deficit > lim {
+				c.deficit = lim
 			}
 		} else {
 			c.deficit = 0
@@ -218,8 +268,8 @@ func (a *fnAdm) admit(src int, bytes int64, hw, depth int) (cost int64, hint sim
 			}
 			if spend > c.deficit {
 				h := simtime.Time(a.svc.v) * simtime.Time(c.calls+1)
-				if h > maxAdmHint {
-					h = maxAdmHint
+				if h > a.hintCap {
+					h = a.hintCap
 				}
 				return 0, h, false
 			}
@@ -257,6 +307,168 @@ func (a *fnAdm) complete(src int, cost int64) {
 	}
 }
 
+// tenant returns (lazily creating) tenant t's accounting, keeping the
+// registered weight and the weight sum current. A newcomer's bank is
+// seeded full so a fresh tenant is never cold-shed while others hold
+// banked credit.
+func (a *fnAdm) tenant(t uint16, w int64) *tenantAdm {
+	if w < 1 {
+		w = 1
+	}
+	if w > maxTenantWeight {
+		w = maxTenantWeight
+	}
+	c := a.tenants[t]
+	if c == nil {
+		c = &tenantAdm{w: w, lastA: a.accrued, credit: a.creditCap(w)}
+		a.tenants[t] = c
+		a.tsumW += w
+	} else if c.w != w {
+		a.tsumW += w - c.w
+		c.w = w
+	}
+	return c
+}
+
+// creditCap bounds a tenant's banked credit at AdmissionBankShares
+// average calls' worth per weight share, so an idle tenant's burst
+// allowance is a couple of calls (scaled by weight), never a hoard.
+func (a *fnAdm) creditCap(w int64) int64 {
+	lim := a.bankShares * a.unit() * w
+	if lim < 1 {
+		lim = 1
+	}
+	if lim > maxAdmCost {
+		lim = maxAdmCost
+	}
+	return lim
+}
+
+// refreshTenant lazily pays out the credit tenant c earned since its
+// last arrival: every admitted tenant call of cost C pays C x w/sumW
+// to each registered tenant, tracked exactly with a division
+// remainder. Total payout equals total admitted cost, so with every
+// tenant backlogged, admitted throughput splits in proportion to
+// weight.
+func (a *fnAdm) refreshTenant(c *tenantAdm) {
+	d := a.accrued - c.lastA
+	c.lastA = a.accrued
+	if d <= 0 || a.tsumW <= 0 {
+		return
+	}
+	num := d*c.w + c.rem
+	c.credit += num / a.tsumW
+	c.rem = num % a.tsumW
+	if lim := a.creditCap(c.w); c.credit > lim {
+		c.credit = lim
+		c.rem = 0
+	}
+}
+
+// tenantHint estimates when tenant c's bank will cover one call of
+// the given cost: the aggregate admitted cost needed to accrue the
+// shortfall, expressed in average calls, times the service estimate.
+func (a *fnAdm) tenantHint(c *tenantAdm, cost int64) simtime.Time {
+	calls := int64(c.calls) + 1
+	if short := cost - c.credit; short > 0 && a.tsumW > 0 {
+		calls += short * a.tsumW / (c.w * a.unit())
+	}
+	sv := a.svc.v
+	if sv < 1 {
+		sv = 1
+	}
+	if calls > int64(a.hintCap)/sv {
+		return a.hintCap
+	}
+	return simtime.Time(sv * calls)
+}
+
+// admitTenant decides one arrival from tenant t carrying QoS weight w.
+// Tenants are admitted from a weighted credit bank rather than the
+// per-client DRR shares: with ~1000 sporadic tenants a per-round share
+// is smaller than one call's cost, so round-scoped shares would shed
+// everything (or, with work conservation, hand slots out by arrival
+// rate — the failure mode the per-client policy's comment documents).
+// Instead every admitted tenant call accrues credit to all registered
+// tenants in proportion to weight; an arrival is admitted when the
+// global budget has room AND the tenant's bank covers the call's cost,
+// charged 1:1. A tenant offering at or below its weighted share of
+// capacity refills faster than it drains and is never shed; a greedy
+// tenant's excess arrivals bounce off its empty bank without consuming
+// budget, so it cannot move a well-behaved tenant's tail. The bank cap
+// (creditCap) bounds idle hoarding; banking and the Retry-After hint
+// are tenant-scoped.
+func (a *fnAdm) admitTenant(t uint16, w, bytes int64, hw, depth int) (cost int64, hint simtime.Time, ok bool) {
+	a.in.observe(bytes)
+	cost = a.callCost(bytes)
+	c := a.tenant(t, w)
+	if !a.svc.primed {
+		// Cold start: depth-only, like the per-client path. Accounting
+		// below still runs so state is consistent once the model wakes.
+		if depth >= hw {
+			return 0, 0, false
+		}
+	} else {
+		a.refreshTenant(c)
+		switch {
+		case a.total == 0:
+			// Work-conservation floor: the function is completely idle,
+			// so holding this tenant to its bank would shed work a free
+			// server could run — and, since credit accrues only from
+			// admitted tenant cost, an all-banks-empty pool would
+			// otherwise starve forever. Admit, spending whatever credit
+			// is there (never going negative). Under load total > 0 and
+			// the floor vanishes, so a greedy tenant cannot ride it
+			// while victims hold work in flight.
+			if c.credit >= cost {
+				c.credit -= cost
+			} else {
+				c.credit, c.rem = 0, 0
+			}
+		case a.total+cost > a.budget(hw) || c.credit < cost:
+			return 0, a.tenantHint(c, cost), false
+		default:
+			c.credit -= cost
+		}
+	}
+	c.cost += cost
+	c.calls++
+	a.total += cost
+	a.accrued += cost
+	if a.accrued >= admAccrueRebase {
+		// Rebase the monotonic accrual clock so it cannot overflow on
+		// a long run: every snapshot shifts down with it, preserving
+		// all pending diffs. Per-tenant updates are independent, so
+		// map order cannot perturb the outcome.
+		for _, tc := range a.tenants {
+			tc.lastA -= a.accrued
+		}
+		a.accrued = 0
+	}
+	return cost, 0, true
+}
+
+// completeTenant releases an admitted tenant call's cost when its
+// reply posts. Tenant entries are not GC'd: the bank is durable QoS
+// state, bounded by the number of registered tenants.
+func (a *fnAdm) completeTenant(t uint16, cost int64) {
+	c := a.tenants[t]
+	if c == nil {
+		return
+	}
+	c.cost -= cost
+	if c.cost < 0 {
+		c.cost = 0
+	}
+	if c.calls > 0 {
+		c.calls--
+	}
+	a.total -= cost
+	if a.total < 0 {
+		a.total = 0
+	}
+}
+
 // admFor returns (lazily creating) the fair-admission state for fn.
 func (i *Instance) admFor(fn int) *fnAdm {
 	if i.adm == nil {
@@ -265,6 +477,8 @@ func (i *Instance) admFor(fn int) *fnAdm {
 	a := i.adm[fn]
 	if a == nil {
 		a = newFnAdm()
+		a.hintCap = simtime.Time(i.cfg.AdmissionHintCap)
+		a.bankShares = int64(i.cfg.AdmissionBankShares)
 		i.adm[fn] = a
 	}
 	return a
@@ -289,7 +503,11 @@ func (i *Instance) admRelease(c *Call) {
 		return
 	}
 	if a := i.adm[c.Func]; a != nil {
-		a.complete(c.Src, c.admCost)
+		if c.Tenant != 0 {
+			a.completeTenant(c.Tenant, c.admCost)
+		} else {
+			a.complete(c.Src, c.admCost)
+		}
 	}
 	c.admCost = 0
 }

@@ -16,6 +16,13 @@ type Client struct {
 	inst   *Instance
 	kernel bool
 	pri    Priority
+
+	// tenant scopes every LMR/handle operation and outbound RPC of
+	// this client to a tenant namespace. Zero (the default) is the
+	// kernel/untenanted class: it bypasses tenant checks, like a root
+	// process. Nonzero tenants cannot touch another tenant's handles
+	// and are admitted under their registered QoS weight.
+	tenant uint16
 }
 
 // KernelClient returns a kernel-level client of this instance.
@@ -23,6 +30,20 @@ func (i *Instance) KernelClient() *Client { return &Client{inst: i, kernel: true
 
 // UserClient returns a user-level client of this instance.
 func (i *Instance) UserClient() *Client { return &Client{inst: i} }
+
+// TenantClient returns a client scoped to tenant t's namespace. LMRs
+// it creates are owned by t, handles it acquires are stamped t, and
+// its RPCs carry t in the ring header so servers apply t's QoS weight.
+// TenantClient(0) is equivalent to KernelClient.
+func (i *Instance) TenantClient(t uint16) *Client {
+	if t != 0 {
+		i.obsReg().Add("lite.tenant.clients", 1)
+	}
+	return &Client{inst: i, kernel: true, tenant: t}
+}
+
+// Tenant returns the tenant ID this client is scoped to (0 = kernel).
+func (c *Client) Tenant() uint16 { return c.tenant }
 
 // Instance returns the underlying LITE instance.
 func (c *Client) Instance() *Instance { return c.inst }
@@ -67,7 +88,7 @@ func (c *Client) Malloc(p *simtime.Proc, size int64, name string, defPerm Perm) 
 func (c *Client) MallocAt(p *simtime.Proc, homeNodes []int, size int64, name string, defPerm Perm) (LH, error) {
 	var h LH
 	var err error
-	c.syscall(p, func() { h, err = c.inst.mallocInternal(p, homeNodes, size, name, defPerm, c.pri) })
+	c.syscall(p, func() { h, err = c.inst.mallocInternal(p, homeNodes, size, name, defPerm, c.pri, c.tenant) })
 	return h, err
 }
 
@@ -76,7 +97,7 @@ func (c *Client) MallocAt(p *simtime.Proc, homeNodes []int, size int64, name str
 func (c *Client) RegisterLMR(p *simtime.Proc, pa hostmem.PAddr, size int64, name string, defPerm Perm) (LH, error) {
 	var h LH
 	var err error
-	c.syscall(p, func() { h, err = c.inst.registerLMRInternal(p, pa, size, name, defPerm, c.pri) })
+	c.syscall(p, func() { h, err = c.inst.registerLMRInternal(p, pa, size, name, defPerm, c.pri, c.tenant) })
 	return h, err
 }
 
@@ -84,7 +105,7 @@ func (c *Client) RegisterLMR(p *simtime.Proc, pa hostmem.PAddr, size int64, name
 // every node that mapped it.
 func (c *Client) Free(p *simtime.Proc, h LH) error {
 	var err error
-	c.syscall(p, func() { err = c.inst.freeInternal(p, h, c.pri) })
+	c.syscall(p, func() { err = c.inst.freeInternal(p, h, c.pri, c.tenant) })
 	return err
 }
 
@@ -93,14 +114,14 @@ func (c *Client) Free(p *simtime.Proc, h LH) error {
 func (c *Client) Map(p *simtime.Proc, name string) (LH, error) {
 	var h LH
 	var err error
-	c.syscall(p, func() { h, err = c.inst.mapInternal(p, name, c.pri) })
+	c.syscall(p, func() { h, err = c.inst.mapInternal(p, name, c.pri, c.tenant) })
 	return h, err
 }
 
 // Unmap implements LT_unmap: drop the lh and its local metadata.
 func (c *Client) Unmap(p *simtime.Proc, h LH) error {
 	var err error
-	c.syscall(p, func() { err = c.inst.unmapInternal(p, h, c.pri) })
+	c.syscall(p, func() { err = c.inst.unmapInternal(p, h, c.pri, c.tenant) })
 	return err
 }
 
@@ -108,14 +129,14 @@ func (c *Client) Unmap(p *simtime.Proc, h LH) error {
 // it to hand out read/write or even the master role itself.
 func (c *Client) Grant(p *simtime.Proc, h LH, node int, perm Perm) error {
 	var err error
-	c.syscall(p, func() { err = c.inst.grantInternal(p, h, node, perm) })
+	c.syscall(p, func() { err = c.inst.grantInternal(p, h, node, perm, c.tenant) })
 	return err
 }
 
 // Move relocates the LMR's storage to another node (master only).
 func (c *Client) Move(p *simtime.Proc, h LH, node int) error {
 	var err error
-	c.syscall(p, func() { err = c.inst.moveInternal(p, h, node, c.pri) })
+	c.syscall(p, func() { err = c.inst.moveInternal(p, h, node, c.pri, c.tenant) })
 	return err
 }
 
@@ -123,21 +144,21 @@ func (c *Client) Move(p *simtime.Proc, h LH, node int) error {
 // data is present (no separate completion polling; §4.2).
 func (c *Client) Read(p *simtime.Proc, h LH, off int64, buf []byte) error {
 	var err error
-	c.syscall(p, func() { err = c.inst.readInternal(p, h, off, buf, c.pri) })
+	c.syscall(p, func() { err = c.inst.readInternal(p, h, off, buf, c.pri, c.tenant) })
 	return err
 }
 
 // Write implements LT_write symmetrically to Read.
 func (c *Client) Write(p *simtime.Proc, h LH, off int64, data []byte) error {
 	var err error
-	c.syscall(p, func() { err = c.inst.writeInternal(p, h, off, data, c.pri) })
+	c.syscall(p, func() { err = c.inst.writeInternal(p, h, off, data, c.pri, c.tenant) })
 	return err
 }
 
 // Memset implements LT_memset: set n bytes at off to val.
 func (c *Client) Memset(p *simtime.Proc, h LH, off int64, val byte, n int64) error {
 	var err error
-	c.syscall(p, func() { err = c.inst.memsetInternal(p, h, off, val, n, c.pri) })
+	c.syscall(p, func() { err = c.inst.memsetInternal(p, h, off, val, n, c.pri, c.tenant) })
 	return err
 }
 
@@ -145,7 +166,7 @@ func (c *Client) Memset(p *simtime.Proc, h LH, off int64, val byte, n int64) err
 // nodes; the transfer happens where the data lives, §7.1).
 func (c *Client) Memcpy(p *simtime.Proc, dst LH, dstOff int64, src LH, srcOff, n int64) error {
 	var err error
-	c.syscall(p, func() { err = c.inst.memcpyInternal(p, dst, dstOff, src, srcOff, n, c.pri) })
+	c.syscall(p, func() { err = c.inst.memcpyInternal(p, dst, dstOff, src, srcOff, n, c.pri, c.tenant) })
 	return err
 }
 
@@ -161,7 +182,7 @@ func (c *Client) Memmove(p *simtime.Proc, dst LH, dstOff int64, src LH, srcOff, 
 func (c *Client) FetchAdd(p *simtime.Proc, h LH, off int64, delta uint64) (uint64, error) {
 	var v uint64
 	var err error
-	c.syscall(p, func() { v, err = c.inst.fetchAddInternal(p, h, off, delta, c.pri) })
+	c.syscall(p, func() { v, err = c.inst.fetchAddInternal(p, h, off, delta, c.pri, c.tenant) })
 	return v, err
 }
 
@@ -170,7 +191,7 @@ func (c *Client) FetchAdd(p *simtime.Proc, h LH, off int64, delta uint64) (uint6
 func (c *Client) TestSet(p *simtime.Proc, h LH, off int64, val uint64) (uint64, error) {
 	var v uint64
 	var err error
-	c.syscall(p, func() { v, err = c.inst.testSetInternal(p, h, off, val, c.pri) })
+	c.syscall(p, func() { v, err = c.inst.testSetInternal(p, h, off, val, c.pri, c.tenant) })
 	return v, err
 }
 
@@ -215,7 +236,7 @@ func (c *Client) RPC(p *simtime.Proc, dst, fn int, input []byte, maxReply int64)
 	t0 := p.Now()
 	end := c.inst.rootSpan(p, "lite.rpc")
 	c.enter(p)
-	out, err := c.inst.rpcInternal(p, dst, fn, input, maxReply, c.pri)
+	out, err := c.inst.rpcInternalFull(p, dst, fn, input, maxReply, c.pri, c.inst.opts.RPCTimeout, false, nil, c.tenant)
 	end()
 	reg.Add("lite.rpc.calls", 1)
 	if err != nil {

@@ -78,6 +78,11 @@ var (
 	// ErrMigrating reports a Drain invoked on a function that is
 	// already mid-migration on this node.
 	ErrMigrating = errors.New("lite: function is already migrating")
+	// ErrTenantDenied reports a cross-tenant namespace violation: a
+	// tenant-tagged client touched an LMR or handle owned by a
+	// different tenant. Unlike ErrPermission (which an owner can cure
+	// with LT_grant), a tenant boundary is not grantable.
+	ErrTenantDenied = errors.New("lite: handle belongs to another tenant")
 )
 
 // OverloadError is the rich form of ErrOverloaded a shed notification
@@ -110,6 +115,19 @@ func (e *MovedError) Error() string { return ErrMoved.Error() }
 
 // Unwrap makes errors.Is(err, ErrMoved) hold.
 func (e *MovedError) Unwrap() error { return ErrMoved }
+
+// TenantDeniedError is the rich form of ErrTenantDenied: Tenant is the
+// caller, Owner the tenant that owns the handle or LMR it touched. It
+// unwraps to ErrTenantDenied so errors.Is matches either form.
+type TenantDeniedError struct {
+	Tenant uint16
+	Owner  uint16
+}
+
+func (e *TenantDeniedError) Error() string { return ErrTenantDenied.Error() }
+
+// Unwrap makes errors.Is(err, ErrTenantDenied) hold.
+func (e *TenantDeniedError) Unwrap() error { return ErrTenantDenied }
 
 // Options configures a LITE deployment.
 type Options struct {
@@ -278,6 +296,8 @@ type Instance struct {
 	// created lazily and wiped wholesale on crash/restart (the queued
 	// calls it accounted for die with the incarnation).
 	adm map[int]*fnAdm
+	// tenantCtrs caches per-tenant obs counter names (obs.go).
+	tenantCtrs map[uint16]*tenantCtrNames
 	// boots counts this node's incarnations: 0 at deployment boot,
 	// incremented by every restart. It stamps ring frames and the
 	// server-side dedup windows, so a retry whose first attempt
@@ -345,6 +365,36 @@ type Deployment struct {
 	// memb is the manager's authoritative membership view (modeled as
 	// surviving manager restarts, as on the paper's HA node pair).
 	memb membState
+
+	// tenantW maps a registered tenant ID to its QoS weight: weight w
+	// earns w shares of every function's admission budget. Unregistered
+	// tenants default to weight 1. Registration happens at deployment
+	// setup (internal/tenant.Registry.Attach), before traffic flows.
+	tenantW map[uint16]int64
+}
+
+// SetTenantWeight registers tenant id with QoS weight w (floored at
+// 1). Tenant 0 is the kernel/untenanted class and cannot be weighted.
+func (d *Deployment) SetTenantWeight(id uint16, w int) {
+	if id == 0 {
+		return
+	}
+	if w < 1 {
+		w = 1
+	}
+	if d.tenantW == nil {
+		d.tenantW = make(map[uint16]int64)
+	}
+	d.tenantW[id] = int64(w)
+}
+
+// tenantWeight returns tenant id's registered QoS weight, defaulting
+// to 1 for tenants that never registered one.
+func (d *Deployment) tenantWeight(id uint16) int64 {
+	if w, ok := d.tenantW[id]; ok {
+		return w
+	}
+	return 1
 }
 
 // Start boots LITE on every node of the cluster: it registers the
@@ -402,6 +452,7 @@ func Start(cls *cluster.Cluster, opts Options) (*Deployment, error) {
 		if err != nil {
 			return nil, err
 		}
+		mr.SetOwner("lite/global")
 		inst.globalMR = mr
 		inst.sendCQ = nd.NIC.CreateCQ()
 		inst.sendDisp = verbs.NewDispatcher(inst.sendCQ)
@@ -422,6 +473,8 @@ func Start(cls *cluster.Cluster, opts Options) (*Deployment, error) {
 			for k := 0; k < opts.QPsPerPair; k++ {
 				qa := a.node.NIC.CreateQP(rnic.RC, a.sendCQ, a.recvCQ)
 				qb := b.node.NIC.CreateQP(rnic.RC, b.sendCQ, b.recvCQ)
+				qa.SetOwner("lite/shared-mesh")
+				qb.SetOwner("lite/shared-mesh")
 				qa.Connect(j, qb.QPN())
 				qb.Connect(i, qa.QPN())
 				a.qps[j] = append(a.qps[j], qa)

@@ -41,6 +41,13 @@ type lmrState struct {
 	defPerm  Perm         // grant for nodes not in acl
 	mappedBy map[int]bool
 	freed    bool
+
+	// tenant is the namespace the LMR belongs to: the tenant of the
+	// client that created it (0 = kernel/public). A nonzero-tenant LMR
+	// can only be mapped or touched by clients of the same tenant (or
+	// the kernel); the boundary is checked before the per-node ACL and
+	// is not grantable.
+	tenant uint16
 }
 
 // lhEntry is the per-node state behind an lh.
@@ -48,6 +55,11 @@ type lhEntry struct {
 	ls     *lmrState
 	perm   Perm
 	master bool
+	// tenant stamps the handle with the namespace of the client that
+	// acquired it; a handle is usable only by its acquiring tenant
+	// (handles are per-acquirer, so a guessed handle number from
+	// another tenant's table fails the check, not just the ACL).
+	tenant uint16
 }
 
 func (d *Deployment) newLMRID() uint64 {
@@ -55,17 +67,28 @@ func (d *Deployment) newLMRID() uint64 {
 	return d.nextLMRID
 }
 
-func (i *Instance) newLH(ls *lmrState, perm Perm) LH {
+func (i *Instance) newLH(ls *lmrState, perm Perm, ten uint16) LH {
 	h := i.nextLH
 	i.nextLH++
-	i.lhs[h] = &lhEntry{ls: ls, perm: perm, master: perm&PermMaster != 0}
+	i.lhs[h] = &lhEntry{ls: ls, perm: perm, master: perm&PermMaster != 0, tenant: ten}
 	return LH(h)
 }
 
-func (i *Instance) lookupLH(h LH) (*lhEntry, error) {
+// lookupLH resolves a handle on behalf of tenant ten. This is the
+// tenant-namespace chokepoint: every data-path operation (read, write,
+// memset, memcpy, atomics) and every master operation (grant, free,
+// move) funnels through it, so a tenant presenting a handle it did not
+// acquire — including a guessed handle number from another tenant's
+// table — is refused with the typed denial before any permission or
+// bounds logic runs. The kernel (ten == 0) bypasses the check.
+func (i *Instance) lookupLH(h LH, ten uint16) (*lhEntry, error) {
 	e, ok := i.lhs[uint64(h)]
 	if !ok {
 		return nil, ErrBadHandle
+	}
+	if ten != 0 && e.tenant != ten {
+		i.tenantCount(ten, tenObsDenied, false)
+		return nil, &TenantDeniedError{Tenant: ten, Owner: e.tenant}
 	}
 	if e.ls.freed {
 		return nil, ErrFreed
@@ -105,7 +128,7 @@ func (i *Instance) allocChunksLocal(p *simtime.Proc, size int64) ([]chunk, error
 // mallocInternal implements LT_malloc: allocate an LMR of the given
 // size spread round-robin over homeNodes, optionally register a name
 // with the cluster manager, and return a master lh.
-func (i *Instance) mallocInternal(p *simtime.Proc, homeNodes []int, size int64, name string, defPerm Perm, pri Priority) (LH, error) {
+func (i *Instance) mallocInternal(p *simtime.Proc, homeNodes []int, size int64, name string, defPerm Perm, pri Priority, ten uint16) (LH, error) {
 	if size <= 0 {
 		return 0, hostmem.ErrBadSize
 	}
@@ -151,6 +174,7 @@ func (i *Instance) mallocInternal(p *simtime.Proc, homeNodes []int, size int64, 
 		acl:      make(map[int]Perm),
 		defPerm:  defPerm,
 		mappedBy: map[int]bool{i.node.ID: true},
+		tenant:   ten,
 	}
 	i.localLMR[ls.id] = ls
 	if name != "" {
@@ -158,7 +182,7 @@ func (i *Instance) mallocInternal(p *simtime.Proc, homeNodes []int, size int64, 
 			return 0, err
 		}
 	}
-	return i.newLH(ls, PermRead|PermWrite|PermMaster), nil
+	return i.newLH(ls, PermRead|PermWrite|PermMaster, ten), nil
 }
 
 // registerName publishes the LMR in the manager-node directory; remote
@@ -176,7 +200,7 @@ func (i *Instance) registerName(p *simtime.Proc, ls *lmrState, pri Priority) err
 
 // RegisterLMR registers already-allocated physically contiguous memory
 // as an LMR (masters may do this per §4.1).
-func (i *Instance) registerLMRInternal(p *simtime.Proc, pa hostmem.PAddr, size int64, name string, defPerm Perm, pri Priority) (LH, error) {
+func (i *Instance) registerLMRInternal(p *simtime.Proc, pa hostmem.PAddr, size int64, name string, defPerm Perm, pri Priority, ten uint16) (LH, error) {
 	p.Work(i.cfg.LITECheck)
 	ls := &lmrState{
 		id:       i.dep.newLMRID(),
@@ -187,6 +211,7 @@ func (i *Instance) registerLMRInternal(p *simtime.Proc, pa hostmem.PAddr, size i
 		acl:      make(map[int]Perm),
 		defPerm:  defPerm,
 		mappedBy: map[int]bool{i.node.ID: true},
+		tenant:   ten,
 	}
 	i.localLMR[ls.id] = ls
 	if name != "" {
@@ -194,13 +219,13 @@ func (i *Instance) registerLMRInternal(p *simtime.Proc, pa hostmem.PAddr, size i
 			return 0, err
 		}
 	}
-	return i.newLH(ls, PermRead|PermWrite|PermMaster), nil
+	return i.newLH(ls, PermRead|PermWrite|PermMaster, ten), nil
 }
 
 // mapInternal implements LT_map: resolve a name through the manager
 // directory, obtain a grant from a master, and build a fresh local lh.
 // LITE generates a new lh for every acquisition (§4.1).
-func (i *Instance) mapInternal(p *simtime.Proc, name string, pri Priority) (LH, error) {
+func (i *Instance) mapInternal(p *simtime.Proc, name string, pri Priority, ten uint16) (LH, error) {
 	p.Work(i.cfg.LITECheck)
 	var ls *lmrState
 	if i.node.ID == i.opts.ManagerNode {
@@ -214,6 +239,14 @@ func (i *Instance) mapInternal(p *simtime.Proc, name string, pri Priority) (LH, 
 	}
 	if ls == nil {
 		return 0, ErrNoSuchName
+	}
+	// Tenant namespace boundary, checked before any grant is even
+	// requested: a tenant may map its own LMRs and kernel/public ones
+	// (tenant 0), never another tenant's. Unlike ErrPermission this is
+	// not curable by the owner granting broader ACLs.
+	if ten != 0 && ls.tenant != 0 && ls.tenant != ten {
+		i.tenantCount(ten, tenObsDenied, false)
+		return 0, &TenantDeniedError{Tenant: ten, Owner: ls.tenant}
 	}
 	// Obtain the grant from a master node.
 	var perm Perm
@@ -234,7 +267,7 @@ func (i *Instance) mapInternal(p *simtime.Proc, name string, pri Priority) (LH, 
 	if ls.freed {
 		return 0, ErrFreed
 	}
-	return i.newLH(ls, perm), nil
+	return i.newLH(ls, perm, ten), nil
 }
 
 func grantFor(ls *lmrState, node int) Perm {
@@ -278,10 +311,14 @@ func (i *Instance) liveMaster(ls *lmrState) int {
 
 // unmapInternal implements LT_unmap: drop the lh and its metadata and
 // inform the master.
-func (i *Instance) unmapInternal(p *simtime.Proc, h LH, pri Priority) error {
+func (i *Instance) unmapInternal(p *simtime.Proc, h LH, pri Priority, ten uint16) error {
 	e, ok := i.lhs[uint64(h)]
 	if !ok {
 		return ErrBadHandle
+	}
+	if ten != 0 && e.tenant != ten {
+		i.tenantCount(ten, tenObsDenied, false)
+		return &TenantDeniedError{Tenant: ten, Owner: e.tenant}
 	}
 	p.Work(i.cfg.LITECheck)
 	delete(i.lhs, uint64(h))
@@ -293,8 +330,8 @@ func (i *Instance) unmapInternal(p *simtime.Proc, h LH, pri Priority) error {
 
 // grantInternal lets a master set another node's permission (including
 // granting the master role; §4.1).
-func (i *Instance) grantInternal(p *simtime.Proc, h LH, node int, perm Perm) error {
-	e, err := i.lookupLH(h)
+func (i *Instance) grantInternal(p *simtime.Proc, h LH, node int, perm Perm, ten uint16) error {
+	e, err := i.lookupLH(h, ten)
 	if err != nil {
 		return err
 	}
@@ -313,8 +350,8 @@ func (i *Instance) grantInternal(p *simtime.Proc, h LH, node int, perm Perm) err
 
 // freeInternal implements LT_free: master-only; notifies every node
 // that mapped the LMR and releases its chunks.
-func (i *Instance) freeInternal(p *simtime.Proc, h LH, pri Priority) error {
-	e, err := i.lookupLH(h)
+func (i *Instance) freeInternal(p *simtime.Proc, h LH, pri Priority, ten uint16) error {
+	e, err := i.lookupLH(h, ten)
 	if err != nil {
 		return err
 	}
@@ -359,8 +396,8 @@ func (i *Instance) freeInternal(p *simtime.Proc, h LH, pri Priority) error {
 // capability the paper lists for load management). Data is copied
 // through the network and every mapping node keeps working because lh
 // metadata points at the shared authoritative state.
-func (i *Instance) moveInternal(p *simtime.Proc, h LH, newNode int, pri Priority) error {
-	e, err := i.lookupLH(h)
+func (i *Instance) moveInternal(p *simtime.Proc, h LH, newNode int, pri Priority, ten uint16) error {
+	e, err := i.lookupLH(h, ten)
 	if err != nil {
 		return err
 	}

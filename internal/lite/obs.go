@@ -1,6 +1,8 @@
 package lite
 
 import (
+	"fmt"
+
 	"lite/internal/obs"
 	"lite/internal/simtime"
 )
@@ -24,6 +26,54 @@ func procSpan(p *simtime.Proc) *obs.Span {
 // noopEnd is returned by rootSpan when tracing is off, so the
 // disabled path allocates nothing.
 var noopEnd = func() {}
+
+// Per-tenant counter kinds for tenantCount.
+const (
+	tenObsAdmit = iota
+	tenObsDenied
+)
+
+// tenantCtrNames caches the formatted per-tenant counter names so the
+// hot path never re-formats them; built lazily per tenant, bounded by
+// the number of tenants that actually send traffic through this node.
+type tenantCtrNames struct {
+	admitted string
+	shed     string
+	denied   string
+}
+
+// tenantCount bumps a tenant-labeled counter. Everything — including
+// the lazy name formatting — is guarded behind the registry nil check,
+// so the disabled path stays allocation- and format-free.
+func (i *Instance) tenantCount(ten uint16, kind int, ok bool) {
+	reg := i.obsReg()
+	if reg == nil {
+		return
+	}
+	n := i.tenantCtrs[ten]
+	if n == nil {
+		n = &tenantCtrNames{
+			admitted: fmt.Sprintf("lite.tenant.%d.admitted", ten),
+			shed:     fmt.Sprintf("lite.tenant.%d.shed", ten),
+			denied:   fmt.Sprintf("lite.tenant.%d.denied", ten),
+		}
+		if i.tenantCtrs == nil {
+			i.tenantCtrs = make(map[uint16]*tenantCtrNames)
+		}
+		i.tenantCtrs[ten] = n
+	}
+	switch kind {
+	case tenObsAdmit:
+		if ok {
+			reg.Add(n.admitted, 1)
+		} else {
+			reg.Add(n.shed, 1)
+		}
+	case tenObsDenied:
+		reg.Add("lite.tenant.denied", 1)
+		reg.Add(n.denied, 1)
+	}
+}
 
 // rootSpan opens a span and installs it as the process's active trace
 // context, so every layer the call passes through (hostos crossings,

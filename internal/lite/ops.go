@@ -67,8 +67,8 @@ func statusErr(s rnic.Status) error {
 // into buf. Local chunks are served by memcpy; remote chunks by native
 // one-sided reads against the target node's global physical MR — no
 // remote CPU, kernel, or LITE involvement (§4).
-func (i *Instance) readInternal(p *simtime.Proc, h LH, off int64, buf []byte, pri Priority) error {
-	e, err := i.lookupLH(h)
+func (i *Instance) readInternal(p *simtime.Proc, h LH, off int64, buf []byte, pri Priority, ten uint16) error {
+	e, err := i.lookupLH(h, ten)
 	if err != nil {
 		return err
 	}
@@ -84,8 +84,8 @@ func (i *Instance) readInternal(p *simtime.Proc, h LH, off int64, buf []byte, pr
 }
 
 // writeInternal implements LT_write symmetrically to readInternal.
-func (i *Instance) writeInternal(p *simtime.Proc, h LH, off int64, data []byte, pri Priority) error {
-	e, err := i.lookupLH(h)
+func (i *Instance) writeInternal(p *simtime.Proc, h LH, off int64, data []byte, pri Priority, ten uint16) error {
+	e, err := i.lookupLH(h, ten)
 	if err != nil {
 		return err
 	}
@@ -169,8 +169,8 @@ func (i *Instance) runParts(p *simtime.Proc, parts []part, buf []byte, kind rnic
 // memsetInternal implements LT_memset by sending the command to the
 // node that stores each affected chunk, which performs a local memset
 // and replies — cheaper than shipping the pattern over the wire (§7.1).
-func (i *Instance) memsetInternal(p *simtime.Proc, h LH, off int64, val byte, n int64, pri Priority) error {
-	e, err := i.lookupLH(h)
+func (i *Instance) memsetInternal(p *simtime.Proc, h LH, off int64, val byte, n int64, pri Priority, ten uint16) error {
+	e, err := i.lookupLH(h, ten)
 	if err != nil {
 		return err
 	}
@@ -211,12 +211,12 @@ func memsetPhys(i *Instance, pa hostmem.PAddr, val byte, n int64) error {
 // RPC to the node storing the source; that node performs a local
 // memcpy if the destination is co-located, or an LT_write to the
 // destination node otherwise, then replies (§7.1).
-func (i *Instance) memcpyInternal(p *simtime.Proc, dst LH, dstOff int64, src LH, srcOff int64, n int64, pri Priority) error {
-	de, err := i.lookupLH(dst)
+func (i *Instance) memcpyInternal(p *simtime.Proc, dst LH, dstOff int64, src LH, srcOff int64, n int64, pri Priority, ten uint16) error {
+	de, err := i.lookupLH(dst, ten)
 	if err != nil {
 		return err
 	}
-	se, err := i.lookupLH(src)
+	se, err := i.lookupLH(src, ten)
 	if err != nil {
 		return err
 	}

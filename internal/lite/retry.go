@@ -37,7 +37,7 @@ const maxRetryBackoff = 20 * 1000 * 1000 // 20ms
 // fair admission policy shipped — but never rebinds (the binding is
 // healthy; the server is just full) and never counts toward the
 // rebind-forcing timeout streak.
-func (i *Instance) rpcRetryT(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time) ([]byte, error) {
+func (i *Instance) rpcRetryT(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time, ten uint16) ([]byte, error) {
 	attempts := i.opts.RetryAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -59,7 +59,7 @@ func (i *Instance) rpcRetryT(p *simtime.Proc, dst, fn int, input []byte, maxRepl
 		}
 		i.pacerWait(p, dst, fn)
 		epochBefore := i.epoch
-		out, err := i.rpcInternalFull(p, dst, fn, input, maxReply, pri, timeout, false, meta)
+		out, err := i.rpcInternalFull(p, dst, fn, input, maxReply, pri, timeout, false, meta, ten)
 		if err == nil {
 			return out, nil
 		}

@@ -246,8 +246,12 @@ type rpcFunc struct {
 // Call is a received RPC call. The server thread must reply exactly
 // once with ReplyRPC (possibly later, from another thread).
 type Call struct {
-	Func    int
-	Src     int
+	Func int
+	Src  int
+	// Tenant is the caller's tenant ID as carried in the ring header
+	// (0 = kernel/untenanted). Handlers may use it to act on the
+	// caller's behalf inside that tenant's namespace.
+	Tenant  uint16
 	Input   []byte
 	token   uint32
 	replyPA hostmem.PAddr
@@ -629,7 +633,7 @@ func (i *Instance) postShared(p *simtime.Proc, dst int, pri Priority, wrs []rnic
 // never polled; reply or timeout detects failure). Frames that fit
 // Params.MaxInline travel inline in the WQE and skip the payload DMA
 // stage.
-func (i *Instance) postToRing(p *simtime.Proc, b *binding, fn int, token uint32, replyPA hostmem.PAddr, input []byte, pri Priority, probe bool, meta *callMeta) error {
+func (i *Instance) postToRing(p *simtime.Proc, b *binding, fn int, token uint32, replyPA hostmem.PAddr, input []byte, pri Priority, probe bool, meta *callMeta, ten uint16) error {
 	var seq, boot uint64
 	var attempt uint16
 	if meta != nil {
@@ -657,7 +661,7 @@ func (i *Instance) postToRing(p *simtime.Proc, b *binding, fn int, token uint32,
 	binary.LittleEndian.PutUint64(msg[20:], seq)
 	binary.LittleEndian.PutUint64(msg[28:], boot)
 	binary.LittleEndian.PutUint16(msg[36:], attempt)
-	binary.LittleEndian.PutUint16(msg[38:], 0)
+	binary.LittleEndian.PutUint16(msg[38:], ten)
 	copy(msg[ringHdr:], input)
 
 	i.qos.throttle(p, pri, need)
@@ -690,22 +694,24 @@ func (i *Instance) rpcInternal(p *simtime.Proc, dst, fn int, input []byte, maxRe
 // means wait forever (used by locks and barriers, whose replies are
 // intentionally withheld until the event occurs).
 func (i *Instance) rpcInternalT(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time) ([]byte, error) {
-	return i.rpcInternalFull(p, dst, fn, input, maxReply, pri, timeout, false, nil)
+	return i.rpcInternalFull(p, dst, fn, input, maxReply, pri, timeout, false, nil, 0)
 }
 
 // rpcInternalProbe is rpcInternalT with the probe flag exposed:
 // keepalives may target declared-dead nodes, since a successful probe
 // is exactly what revives one.
 func (i *Instance) rpcInternalProbe(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time, probe bool) ([]byte, error) {
-	return i.rpcInternalFull(p, dst, fn, input, maxReply, pri, timeout, probe, nil)
+	return i.rpcInternalFull(p, dst, fn, input, maxReply, pri, timeout, probe, nil, 0)
 }
 
 // rpcInternalFull is the complete LT_RPC entry point. meta, when
 // non-nil, identifies this logical call across retry attempts (client
 // sequence number, ambiguous-attempt count, server boot stamp); the
 // server's dedup window uses it to suppress duplicate execution after
-// a lost reply and to detect retries that crossed its restart.
-func (i *Instance) rpcInternalFull(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time, probe bool, meta *callMeta) ([]byte, error) {
+// a lost reply and to detect retries that crossed its restart. ten is
+// the caller's tenant ID (0 = kernel/untenanted), carried in the ring
+// header so the server can apply tenant-weighted admission.
+func (i *Instance) rpcInternalFull(p *simtime.Proc, dst, fn int, input []byte, maxReply int64, pri Priority, timeout simtime.Time, probe bool, meta *callMeta, ten uint16) ([]byte, error) {
 	reg := i.obsReg()
 	parent := procSpan(p)
 	t0 := p.Now()
@@ -715,7 +721,7 @@ func (i *Instance) rpcInternalFull(p *simtime.Proc, dst, fn int, input []byte, m
 		return nil, ErrNodeDead
 	}
 	if dst == i.node.ID {
-		return i.rpcLocal(p, fn, input, timeout)
+		return i.rpcLocal(p, fn, input, timeout, ten)
 	}
 	b, err := i.getBinding(p, dst, fn, pri)
 	if err != nil {
@@ -727,7 +733,7 @@ func (i *Instance) rpcInternalFull(p *simtime.Proc, dst, fn int, input []byte, m
 	i.pending[token] = pc
 
 	post := reg.StartSpan(p.Now(), "lite.rpc.post", parent)
-	err = i.postToRing(p, b, fn, token, respPA, input, pri, probe, meta)
+	err = i.postToRing(p, b, fn, token, respPA, input, pri, probe, meta, ten)
 	post.Done(p.Now())
 	if err != nil {
 		delete(i.pending, token)
@@ -767,7 +773,7 @@ func (i *Instance) rpcInternalFull(p *simtime.Proc, dst, fn int, input []byte, m
 
 // rpcLocal dispatches an RPC whose server is this node without
 // touching the network.
-func (i *Instance) rpcLocal(p *simtime.Proc, fn int, input []byte, timeout simtime.Time) ([]byte, error) {
+func (i *Instance) rpcLocal(p *simtime.Proc, fn int, input []byte, timeout simtime.Time, ten uint16) ([]byte, error) {
 	if i.stopped {
 		return nil, ErrNodeDead
 	}
@@ -776,7 +782,7 @@ func (i *Instance) rpcLocal(p *simtime.Proc, fn int, input []byte, timeout simti
 		return nil, ErrNoSuchRPC
 	}
 	pc := &pendingCall{}
-	call := &Call{Func: fn, Src: i.node.ID, Input: append([]byte(nil), input...), local: true, pend: pc}
+	call := &Call{Func: fn, Src: i.node.ID, Tenant: ten, Input: append([]byte(nil), input...), local: true, pend: pc}
 	i.memcpyCost(p, int64(len(input)))
 	i.dispatchCall(f, call)
 	var deadline simtime.Time
@@ -908,7 +914,7 @@ func (i *Instance) sendInternal(p *simtime.Proc, dst int, data []byte, pri Prior
 	if err != nil {
 		return err
 	}
-	return i.postToRing(p, b, funcMsg, 0, 0, data, pri, false, nil)
+	return i.postToRing(p, b, funcMsg, 0, 0, data, pri, false, nil, 0)
 }
 
 // recvInternal implements the receive side of LT_send.
@@ -1113,6 +1119,7 @@ func (i *Instance) handleRPCReq(p *simtime.Proc, src, fn int, off int64) {
 	seq := binary.LittleEndian.Uint64(hdr[20:])
 	boot := binary.LittleEndian.Uint64(hdr[28:])
 	attempt := binary.LittleEndian.Uint16(hdr[36:])
+	ten := binary.LittleEndian.Uint16(hdr[38:])
 	if inLen < 0 || inLen > total-ringHdr {
 		return
 	}
@@ -1126,7 +1133,7 @@ func (i *Instance) handleRPCReq(p *simtime.Proc, src, fn int, off int64) {
 	ring.headLocal += pad + aligned
 	delta := pad + aligned
 
-	call := &Call{Func: fn, Src: src, Input: input, token: token, replyPA: replyPA, headDelta: delta}
+	call := &Call{Func: fn, Src: src, Tenant: ten, Input: input, token: token, replyPA: replyPA, headDelta: delta}
 	if fn == funcMsg {
 		i.msgQueue = append(i.msgQueue, Message{Src: src, Data: input})
 		i.msgCond.Signal(i.cls.Env)
@@ -1209,7 +1216,18 @@ func (i *Instance) handleRPCReq(p *simtime.Proc, src, fn int, off int64) {
 			p.Work(i.cfg.AdmissionCheck)
 			if i.opts.FairAdmission {
 				p.Work(i.cfg.FairAdmissionCheck)
-				cost, hint, ok := i.admFor(fn).admit(src, inLen, hw, len(f.queue))
+				var cost int64
+				var hint simtime.Time
+				var ok bool
+				if ten != 0 {
+					// A tenant-tagged request: weighted-tenant admission,
+					// with the extra credential/credit bookkeeping charged.
+					p.Work(i.cfg.TenantCheck)
+					cost, hint, ok = i.admFor(fn).admitTenant(ten, i.dep.tenantWeight(ten), inLen, hw, len(f.queue))
+					i.tenantCount(ten, tenObsAdmit, ok)
+				} else {
+					cost, hint, ok = i.admFor(fn).admit(src, inLen, hw, len(f.queue))
+				}
 				if !ok {
 					// Shed the over-share client: credit the frame and
 					// notify fast, shipping the Retry-After estimate in

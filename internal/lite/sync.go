@@ -74,8 +74,8 @@ func (i *Instance) remoteAtomic(p *simtime.Proc, node int, pa hostmem.PAddr, wr 
 
 // resolveWord resolves (lh, off) to the node and physical address of
 // an 8-byte word, which must not straddle chunks.
-func (i *Instance) resolveWord(h LH, off int64, need Perm) (int, hostmem.PAddr, error) {
-	e, err := i.lookupLH(h)
+func (i *Instance) resolveWord(h LH, off int64, need Perm, ten uint16) (int, hostmem.PAddr, error) {
+	e, err := i.lookupLH(h, ten)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -94,9 +94,9 @@ func (i *Instance) resolveWord(h LH, off int64, need Perm) (int, hostmem.PAddr, 
 }
 
 // fetchAddInternal implements LT_fetch-add on LMR space.
-func (i *Instance) fetchAddInternal(p *simtime.Proc, h LH, off int64, delta uint64, pri Priority) (uint64, error) {
+func (i *Instance) fetchAddInternal(p *simtime.Proc, h LH, off int64, delta uint64, pri Priority, ten uint16) (uint64, error) {
 	p.Work(i.cfg.LITECheck)
-	node, pa, err := i.resolveWord(h, off, PermWrite)
+	node, pa, err := i.resolveWord(h, off, PermWrite, ten)
 	if err != nil {
 		return 0, err
 	}
@@ -105,9 +105,9 @@ func (i *Instance) fetchAddInternal(p *simtime.Proc, h LH, off int64, delta uint
 
 // testSetInternal implements LT_test-set on LMR space: it atomically
 // sets the word to val if it was zero and returns the previous value.
-func (i *Instance) testSetInternal(p *simtime.Proc, h LH, off int64, val uint64, pri Priority) (uint64, error) {
+func (i *Instance) testSetInternal(p *simtime.Proc, h LH, off int64, val uint64, pri Priority, ten uint16) (uint64, error) {
 	p.Work(i.cfg.LITECheck)
-	node, pa, err := i.resolveWord(h, off, PermWrite)
+	node, pa, err := i.resolveWord(h, off, PermWrite, ten)
 	if err != nil {
 		return 0, err
 	}

@@ -131,6 +131,21 @@ type Config struct {
 	// update, deficit-round-robin accounting), charged on top of
 	// AdmissionCheck when Options.FairAdmission is enabled.
 	FairAdmissionCheck time.Duration
+	// TenantCheck is the extra per-request cost of resolving a tenant
+	// tag: credential/namespace lookup plus the weighted-credit
+	// accounting, charged on top of FairAdmissionCheck for requests
+	// carrying a nonzero tenant ID.
+	TenantCheck time.Duration
+	// AdmissionHintCap caps the Retry-After hint carried in a shed
+	// notification; a hint is advice about queue drain, not a lease,
+	// and must never park a client for longer than a timeout would.
+	AdmissionHintCap time.Duration
+	// AdmissionBankShares caps how much unused fair share an idle
+	// client (or tenant) may bank as deficit-round-robin credit,
+	// expressed in shares: a client's carried deficit never exceeds
+	// AdmissionBankShares x its per-round share, so an idle client
+	// cannot hoard unbounded admission credit.
+	AdmissionBankShares int
 	// AdaptivePollWindow is how long the LITE user library busy-checks
 	// the shared completion page before sleeping (5.2's adaptive
 	// thread model).
@@ -191,13 +206,16 @@ func Default() Config {
 		MRRegisterBase:   4 * time.Microsecond,
 		PageAllocPerPage: 30 * time.Nanosecond,
 
-		SyscallCrossing:    85 * time.Nanosecond,
-		KernelDispatch:     60 * time.Nanosecond,
-		LITECheck:          120 * time.Nanosecond,
-		AdmissionCheck:     20 * time.Nanosecond,
-		FairAdmissionCheck: 60 * time.Nanosecond,
-		AdaptivePollWindow: 8 * time.Microsecond,
-		WakeupLatency:      1500 * time.Nanosecond,
+		SyscallCrossing:     85 * time.Nanosecond,
+		KernelDispatch:      60 * time.Nanosecond,
+		LITECheck:           120 * time.Nanosecond,
+		AdmissionCheck:      20 * time.Nanosecond,
+		FairAdmissionCheck:  60 * time.Nanosecond,
+		TenantCheck:         15 * time.Nanosecond,
+		AdmissionHintCap:    2 * time.Millisecond,
+		AdmissionBankShares: 2,
+		AdaptivePollWindow:  8 * time.Microsecond,
+		WakeupLatency:       1500 * time.Nanosecond,
 
 		TCPPerMessage:    4 * time.Microsecond,
 		TCPPerPacket:     5 * time.Microsecond,

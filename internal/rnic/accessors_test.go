@@ -49,6 +49,18 @@ func TestAccessorsAndStrings(t *testing.T) {
 		t.Fatalf("QPCount = %d", nic.QPCount())
 	}
 
+	if mr.Owner() != "" || qp.Owner() != "" {
+		t.Fatal("fresh MR/QP should be untagged")
+	}
+	mr.SetOwner("test/mr")
+	qp.SetOwner("test/qp")
+	if mr.Owner() != "test/mr" || qp.Owner() != "test/qp" {
+		t.Fatal("owner tags not retained")
+	}
+	if nic.QPCountByOwner("test/qp") != 1 || nic.QPCountByOwner("ghost") != 0 {
+		t.Fatal("QPCountByOwner wrong")
+	}
+
 	for _, k := range []OpKind{OpWrite, OpWriteImm, OpRead, OpSend, OpRecv, OpFetchAdd, OpCmpSwap, OpKind(99)} {
 		if k.String() == "" {
 			t.Fatalf("OpKind %d has empty String", k)

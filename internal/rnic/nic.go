@@ -218,6 +218,18 @@ func (n *NIC) CreateQP(typ QPType, sendCQ, recvCQ *CQ) *QP {
 // QPCount returns the number of live QPs on this NIC.
 func (n *NIC) QPCount() int { return len(n.qps) }
 
+// QPCountByOwner returns the number of live QPs tagged with the given
+// owner label (see QP.SetOwner).
+func (n *NIC) QPCountByOwner(owner string) int {
+	c := 0
+	for _, qp := range n.qps {
+		if qp.owner == owner {
+			c++
+		}
+	}
+	return c
+}
+
 // keyCost returns the SRAM cost of touching MR key k: zero on a cache
 // hit, and a host-fetch penalty that grows with the size of the
 // host-side MR table on a miss.

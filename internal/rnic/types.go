@@ -120,10 +120,20 @@ type MR struct {
 	pa   hostmem.PAddr
 	as   *hostmem.AddressSpace
 	va   hostmem.VAddr
+
+	owner string // optional subsystem/tenant label for accounting
 }
 
 // Key returns the region's protection key (serves as lkey and rkey).
 func (m *MR) Key() uint32 { return m.key }
+
+// SetOwner labels the region with the subsystem that registered it
+// (e.g. "lite/global"). Purely an accounting tag: it never affects
+// permission checks or costs.
+func (m *MR) SetOwner(o string) { m.owner = o }
+
+// Owner returns the region's accounting label ("" if untagged).
+func (m *MR) Owner() string { return m.owner }
 
 // Size returns the region's length in bytes.
 func (m *MR) Size() int64 { return m.size }
@@ -268,10 +278,20 @@ type QP struct {
 	rq     []PostedRecv
 
 	drops int64 // UD datagrams dropped for lack of a posted receive
+
+	owner string // optional subsystem/tenant label for accounting
 }
 
 // QPN returns the queue pair number (unique per NIC).
 func (q *QP) QPN() int { return q.qpn }
+
+// SetOwner labels the QP with the subsystem that created it (e.g.
+// "lite/shared-mesh"). Purely an accounting tag — multi-tenant audits
+// use it to prove QP counts scale with nodes, not tenants.
+func (q *QP) SetOwner(o string) { q.owner = o }
+
+// Owner returns the QP's accounting label ("" if untagged).
+func (q *QP) Owner() string { return q.owner }
 
 // Type returns the transport type.
 func (q *QP) Type() QPType { return q.typ }

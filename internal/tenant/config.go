@@ -1,0 +1,337 @@
+package tenant
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Declarative workload configs, orion-bench style: a YAML subset with
+// nested blocks, lists of maps, comments, and readable integers like
+// 1_000. Only what the multi-tenant experiments need is implemented —
+// no anchors, no flow style, no multi-line scalars — so the parser
+// stays a page of code with no dependency.
+
+// Op is one operation of the workload mix; weights are relative
+// probabilities.
+type Op struct {
+	Name   string
+	Weight int
+}
+
+// Class is one tenant service class: Count tenants sharing one QoS
+// weight.
+type Class struct {
+	Name   string
+	Count  int
+	Weight int
+}
+
+// Greedy marks one tenant of a class as misbehaving: it offers Factor
+// times its class's per-tenant load.
+type Greedy struct {
+	Class  string
+	Factor int
+}
+
+// Workload is a parsed multi-tenant workload description.
+type Workload struct {
+	Name       string
+	UserCount  int
+	Operations []Op
+	Classes    []Class
+	Greedy     *Greedy
+}
+
+// ParseWorkload parses the YAML-subset workload config. The expected
+// shape (see testdata and EXPERIMENTS.md):
+//
+//	workload:
+//	  name: tenants
+//	  user-count: 1_000
+//	  operations:
+//	    - op: put
+//	      weight: 60
+//	  classes:
+//	    - name: gold
+//	      count: 100
+//	      weight: 4
+//	  greedy:
+//	    class: bronze
+//	    factor: 5
+func ParseWorkload(text string) (*Workload, error) {
+	root, err := parseYAML(text)
+	if err != nil {
+		return nil, err
+	}
+	top, ok := root.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("tenant: config root must be a map")
+	}
+	wl, ok := top["workload"].(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("tenant: config needs a workload block")
+	}
+	w := &Workload{}
+	if w.Name, err = wantString(wl, "name"); err != nil {
+		return nil, err
+	}
+	if w.UserCount, err = wantInt(wl, "user-count"); err != nil {
+		return nil, err
+	}
+	if ops, ok := wl["operations"].([]any); ok {
+		for _, it := range ops {
+			m, ok := it.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("tenant: operations entries must be maps")
+			}
+			var o Op
+			if o.Name, err = wantString(m, "op"); err != nil {
+				return nil, err
+			}
+			if o.Weight, err = wantInt(m, "weight"); err != nil {
+				return nil, err
+			}
+			w.Operations = append(w.Operations, o)
+		}
+	}
+	if cls, ok := wl["classes"].([]any); ok {
+		for _, it := range cls {
+			m, ok := it.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("tenant: classes entries must be maps")
+			}
+			var c Class
+			if c.Name, err = wantString(m, "name"); err != nil {
+				return nil, err
+			}
+			if c.Count, err = wantInt(m, "count"); err != nil {
+				return nil, err
+			}
+			if c.Weight, err = wantInt(m, "weight"); err != nil {
+				return nil, err
+			}
+			w.Classes = append(w.Classes, c)
+		}
+	}
+	if g, ok := wl["greedy"].(map[string]any); ok {
+		gr := &Greedy{}
+		if gr.Class, err = wantString(g, "class"); err != nil {
+			return nil, err
+		}
+		if gr.Factor, err = wantInt(g, "factor"); err != nil {
+			return nil, err
+		}
+		w.Greedy = gr
+	}
+	return w, w.validate()
+}
+
+func (w *Workload) validate() error {
+	if w.UserCount < 1 {
+		return fmt.Errorf("tenant: user-count must be >= 1")
+	}
+	opSum := 0
+	for _, o := range w.Operations {
+		if o.Weight < 0 {
+			return fmt.Errorf("tenant: operation %q has negative weight", o.Name)
+		}
+		opSum += o.Weight
+	}
+	if len(w.Operations) > 0 && opSum == 0 {
+		return fmt.Errorf("tenant: operation weights sum to zero")
+	}
+	if len(w.Classes) > 0 {
+		sum := 0
+		seen := map[string]bool{}
+		for _, c := range w.Classes {
+			if c.Count < 0 || c.Weight < 1 {
+				return fmt.Errorf("tenant: class %q needs count >= 0 and weight >= 1", c.Name)
+			}
+			if seen[c.Name] {
+				return fmt.Errorf("tenant: duplicate class %q", c.Name)
+			}
+			seen[c.Name] = true
+			sum += c.Count
+		}
+		if sum != w.UserCount {
+			return fmt.Errorf("tenant: class counts sum to %d, user-count is %d", sum, w.UserCount)
+		}
+	}
+	if w.Greedy != nil {
+		found := false
+		for _, c := range w.Classes {
+			if c.Name == w.Greedy.Class {
+				found = c.Count > 0
+			}
+		}
+		if !found {
+			return fmt.Errorf("tenant: greedy class %q not a populated class", w.Greedy.Class)
+		}
+		if w.Greedy.Factor < 1 {
+			return fmt.Errorf("tenant: greedy factor must be >= 1")
+		}
+	}
+	return nil
+}
+
+func wantString(m map[string]any, key string) (string, error) {
+	s, ok := m[key].(string)
+	if !ok || s == "" {
+		return "", fmt.Errorf("tenant: missing or non-scalar %q", key)
+	}
+	return s, nil
+}
+
+func wantInt(m map[string]any, key string) (int, error) {
+	s, ok := m[key].(string)
+	if !ok {
+		return 0, fmt.Errorf("tenant: missing or non-scalar %q", key)
+	}
+	n, err := strconv.Atoi(strings.ReplaceAll(s, "_", ""))
+	if err != nil {
+		return 0, fmt.Errorf("tenant: %q: %v", key, err)
+	}
+	return n, nil
+}
+
+// ---- YAML-subset parser ----
+
+// yline is one meaningful config line: indentation in spaces plus
+// content with comments stripped.
+type yline struct {
+	indent int
+	text   string
+	lineno int
+}
+
+// parseYAML parses the subset into map[string]any / []any / string.
+func parseYAML(text string) (any, error) {
+	var lines []yline
+	for no, raw := range strings.Split(text, "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("tenant: config line %d: tabs are not allowed", no+1)
+		}
+		// Strip comments: a # at the start of the content or preceded
+		// by a space. (No quoted strings in the subset.)
+		if i := strings.Index(raw, "#"); i >= 0 && (i == 0 || raw[i-1] == ' ' || strings.TrimSpace(raw[:i]) == "") {
+			raw = raw[:i]
+		}
+		content := strings.TrimRight(raw, " ")
+		trimmed := strings.TrimLeft(content, " ")
+		if trimmed == "" {
+			continue
+		}
+		lines = append(lines, yline{indent: len(content) - len(trimmed), text: trimmed, lineno: no + 1})
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	node, rest, err := parseBlock(lines, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) > 0 {
+		return nil, fmt.Errorf("tenant: config line %d: unexpected outdent", rest[0].lineno)
+	}
+	return node, nil
+}
+
+// parseBlock parses consecutive lines at exactly the given indent into
+// one node (a map or a list), returning the unconsumed suffix.
+func parseBlock(lines []yline, indent int) (any, []yline, error) {
+	if strings.HasPrefix(lines[0].text, "- ") || lines[0].text == "-" {
+		return parseList(lines, indent)
+	}
+	return parseMap(lines, indent)
+}
+
+func parseMap(lines []yline, indent int) (any, []yline, error) {
+	m := make(map[string]any)
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, nil, fmt.Errorf("tenant: config line %d: unexpected indent", ln.lineno)
+		}
+		key, val, ok := strings.Cut(ln.text, ":")
+		if !ok || key == "" || strings.HasPrefix(ln.text, "- ") {
+			return nil, nil, fmt.Errorf("tenant: config line %d: expected \"key: value\"", ln.lineno)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if _, dup := m[key]; dup {
+			return nil, nil, fmt.Errorf("tenant: config line %d: duplicate key %q", ln.lineno, key)
+		}
+		lines = lines[1:]
+		if val != "" {
+			m[key] = val
+			continue
+		}
+		// A block value: everything more deeply indented below.
+		if len(lines) == 0 || lines[0].indent <= indent {
+			m[key] = "" // empty value
+			continue
+		}
+		var child any
+		var err error
+		child, lines, err = parseBlock(lines, lines[0].indent)
+		if err != nil {
+			return nil, nil, err
+		}
+		m[key] = child
+	}
+	return m, lines, nil
+}
+
+func parseList(lines []yline, indent int) (any, []yline, error) {
+	var list []any
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent != indent || (ln.text != "-" && !strings.HasPrefix(ln.text, "- ")) {
+			if ln.indent > indent {
+				return nil, nil, fmt.Errorf("tenant: config line %d: unexpected indent", ln.lineno)
+			}
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		lines = lines[1:]
+		if rest == "" {
+			// "-" alone: the item is the indented block below.
+			if len(lines) == 0 || lines[0].indent <= indent {
+				return nil, nil, fmt.Errorf("tenant: config line %d: empty list item", ln.lineno)
+			}
+			var child any
+			var err error
+			child, lines, err = parseBlock(lines, lines[0].indent)
+			if err != nil {
+				return nil, nil, err
+			}
+			list = append(list, child)
+			continue
+		}
+		if !strings.Contains(rest, ":") {
+			// Scalar item.
+			list = append(list, rest)
+			continue
+		}
+		// "- key: value" starts an inline map item; continuation keys
+		// sit on following lines, indented past the dash.
+		item := []yline{{indent: indent + 2, text: rest, lineno: ln.lineno}}
+		for len(lines) > 0 && lines[0].indent > indent {
+			item = append(item, lines[0])
+			lines = lines[1:]
+		}
+		child, leftover, err := parseMap(item, indent+2)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(leftover) > 0 {
+			return nil, nil, fmt.Errorf("tenant: config line %d: bad list item layout", leftover[0].lineno)
+		}
+		list = append(list, child)
+	}
+	return list, lines, nil
+}

@@ -1,0 +1,104 @@
+package tenant
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodConfig = `
+# Multi-tenant isolation workload (orion-bench style).
+workload:
+  name: tenants
+  # Each user runs its op mix in parallel.
+  user-count: 1_000
+  operations:
+    - op: put
+      weight: 60
+    - op: lookup
+      weight: 40
+  classes:
+    - name: gold
+      count: 100
+      weight: 4
+    - name: silver
+      count: 300
+      weight: 2
+    - name: bronze
+      count: 600
+      weight: 1
+  greedy:
+    class: bronze
+    factor: 5
+`
+
+func TestParseWorkload(t *testing.T) {
+	w, err := ParseWorkload(goodConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "tenants" || w.UserCount != 1000 {
+		t.Fatalf("header = %q/%d", w.Name, w.UserCount)
+	}
+	if len(w.Operations) != 2 || w.Operations[0] != (Op{"put", 60}) || w.Operations[1] != (Op{"lookup", 40}) {
+		t.Fatalf("operations = %+v", w.Operations)
+	}
+	if len(w.Classes) != 3 || w.Classes[1] != (Class{"silver", 300, 2}) {
+		t.Fatalf("classes = %+v", w.Classes)
+	}
+	if w.Greedy == nil || w.Greedy.Class != "bronze" || w.Greedy.Factor != 5 {
+		t.Fatalf("greedy = %+v", w.Greedy)
+	}
+}
+
+func TestParseWorkloadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"empty", "", "workload block"},
+		{"tab", "workload:\n\tname: x", "tabs"},
+		{"no-name", "workload:\n  user-count: 5", "name"},
+		{"no-count", "workload:\n  name: x", "user-count"},
+		{"bad-count", "workload:\n  name: x\n  user-count: many", "user-count"},
+		{"zero-count", "workload:\n  name: x\n  user-count: 0", ">= 1"},
+		{"dup-key", "workload:\n  name: x\n  name: y\n  user-count: 1", "duplicate key"},
+		{"bad-kv", "workload:\n  name: x\n  user-count: 1\n  nonsense", "key: value"},
+		{"class-sum", "workload:\n  name: x\n  user-count: 5\n  classes:\n    - name: a\n      count: 3\n      weight: 1", "sum to 3"},
+		{"dup-class", "workload:\n  name: x\n  user-count: 2\n  classes:\n    - name: a\n      count: 1\n      weight: 1\n    - name: a\n      count: 1\n      weight: 1", "duplicate class"},
+		{"zero-op-weights", "workload:\n  name: x\n  user-count: 1\n  operations:\n    - op: a\n      weight: 0", "sum to zero"},
+		{"neg-op-weight", "workload:\n  name: x\n  user-count: 1\n  operations:\n    - op: a\n      weight: -2", "negative weight"},
+		{"greedy-ghost-class", "workload:\n  name: x\n  user-count: 1\n  classes:\n    - name: a\n      count: 1\n      weight: 1\n  greedy:\n    class: b\n    factor: 5", "greedy class"},
+		{"greedy-factor", "workload:\n  name: x\n  user-count: 1\n  classes:\n    - name: a\n      count: 1\n      weight: 1\n  greedy:\n    class: a\n    factor: 0", "factor"},
+		{"empty-list-item", "workload:\n  name: x\n  user-count: 1\n  operations:\n    -", "empty list item"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseWorkload(tc.text)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseYAMLShapes(t *testing.T) {
+	// Scalar list items and dash-only items with block maps.
+	root, err := parseYAML("xs:\n  - alpha\n  - beta\nm:\n  -\n    k: v\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := root.(map[string]any)
+	xs := top["xs"].([]any)
+	if len(xs) != 2 || xs[0] != "alpha" || xs[1] != "beta" {
+		t.Fatalf("xs = %+v", xs)
+	}
+	m := top["m"].([]any)
+	if mm := m[0].(map[string]any); mm["k"] != "v" {
+		t.Fatalf("m = %+v", m)
+	}
+	// Empty input parses to an empty map.
+	if root, err := parseYAML("# nothing\n\n"); err != nil || len(root.(map[string]any)) != 0 {
+		t.Fatalf("empty parse: %v %v", root, err)
+	}
+}

@@ -1,0 +1,89 @@
+package tenant
+
+import (
+	"fmt"
+
+	"lite/internal/detrand"
+)
+
+// Workload driving shared by the litebench tenants experiment and the
+// package's isolation tests: expand a parsed config into registered
+// tenants with per-tenant offered-load weights, and pick operations
+// deterministically per (seed, tenant, call).
+
+// Spec is one simulated tenant of a workload run.
+type Spec struct {
+	Tenant *Tenant
+	Class  string
+	Greedy bool
+	// RateWeight is the tenant's share of the aggregate offered load:
+	// its class QoS weight (paying tenants offer load in proportion to
+	// what they bought), times the greedy factor for the misbehaving
+	// tenant.
+	RateWeight float64
+}
+
+// Build registers one tenant per configured user in the registry and
+// returns their specs in ID order. Tenant names are "<class>-<k>";
+// secrets are derived from the name (this is a simulation — the
+// credential machinery models the control flow, not cryptography).
+// The first tenant of the greedy class, if configured, is marked
+// greedy with Factor times its class rate.
+func Build(reg *Registry, w *Workload) ([]Spec, error) {
+	if len(w.Classes) == 0 {
+		return nil, fmt.Errorf("tenant: workload %q has no classes", w.Name)
+	}
+	specs := make([]Spec, 0, w.UserCount)
+	for _, cl := range w.Classes {
+		for k := 0; k < cl.Count; k++ {
+			name := fmt.Sprintf("%s-%d", cl.Name, k)
+			t, err := reg.Register(name, Secret(name), cl.Weight)
+			if err != nil {
+				return nil, err
+			}
+			s := Spec{Tenant: t, Class: cl.Name, RateWeight: float64(cl.Weight)}
+			if w.Greedy != nil && cl.Name == w.Greedy.Class && k == 0 {
+				s.Greedy = true
+				s.RateWeight *= float64(w.Greedy.Factor)
+			}
+			specs = append(specs, s)
+		}
+	}
+	return specs, nil
+}
+
+// Secret derives a tenant's secret from its name, so tests and
+// experiments can authenticate without a side table.
+func Secret(name string) string { return "s3cret:" + name }
+
+// RateWeights returns the specs' offered-load weights, aligned by
+// index — the shape load.SplitPoissonWeighted consumes.
+func RateWeights(specs []Spec) []float64 {
+	ws := make([]float64, len(specs))
+	for i, s := range specs {
+		ws[i] = s.RateWeight
+	}
+	return ws
+}
+
+// PickOp deterministically chooses an operation for call k of the
+// given tenant by hashing (seed, tenant, k) into the weighted mix.
+// Every run with the same inputs picks the same op.
+func (w *Workload) PickOp(seed uint64, ten uint16, k int) string {
+	if len(w.Operations) == 0 {
+		return ""
+	}
+	sum := 0
+	for _, o := range w.Operations {
+		sum += o.Weight
+	}
+	h := detrand.Mix64(seed ^ detrand.Mix64(uint64(ten)<<32|uint64(uint32(k))))
+	n := int(h % uint64(sum))
+	for _, o := range w.Operations {
+		if n < o.Weight {
+			return o.Name
+		}
+		n -= o.Weight
+	}
+	return w.Operations[len(w.Operations)-1].Name
+}
