@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race lint cover bench bench-smoke bench-guard smoke obs-guard migrate-chaos
+.PHONY: ci fmt vet build test race lint cover bench bench-smoke bench-guard smoke obs-guard migrate-chaos determinism-guard determinism-record
 
-ci: fmt vet lint build race cover migrate-chaos smoke obs-guard bench-guard
+ci: fmt vet lint build race cover migrate-chaos smoke obs-guard determinism-guard bench-guard
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -43,6 +43,8 @@ endef
 cover:
 	$(call check_cover,./internal/lite/,$(COVER_FLOOR))
 	$(call check_cover,./internal/tenant/,$(COVER_FLOOR))
+	$(call check_cover,./internal/simtime/,$(COVER_FLOOR))
+	$(call check_cover,./internal/fabric/,$(COVER_FLOOR))
 	$(call check_cover,./internal/faults/,$(COVER_FLOOR_HARNESS))
 	$(call check_cover,./internal/load/,$(COVER_FLOOR_HARNESS))
 
@@ -55,10 +57,11 @@ bench:
 	$(GO) run ./cmd/litebench -all
 
 # bench-smoke regenerates the machine-readable perf feed from a fast
-# experiment subset (each experiment finishes in under a second of
-# wall time).
+# experiment subset (sub-second each, except scale: the 500-node run
+# deliberately includes the expensive pre-PR baseline for its speedup
+# gate and takes about a minute).
 bench-smoke:
-	$(GO) run ./cmd/litebench -metrics -json BENCH_litebench.json trace breakdown tput tail saturate fairness lease drain tenants
+	$(GO) run ./cmd/litebench -metrics -json BENCH_litebench.json trace breakdown tput tail saturate fairness lease drain tenants scale
 
 # bench-guard re-runs the experiments recorded in the committed feed
 # and fails if any virtual-time figure drifted: performance changes
@@ -73,6 +76,27 @@ bench-guard:
 # bit for bit.
 migrate-chaos:
 	$(GO) test -race -count=1 -run TestMigrationChaos ./internal/faults/
+
+# determinism-guard replays the seeded chaos experiment and diffs its
+# table against the committed golden byte for byte. The chaos run
+# exercises every layer (scheduler, wakeups, fabric, faults, RPC), so
+# any scheduler or fabric change that moves a single event shows up
+# here immediately. Wall-time footer lines (bracketed) are stripped;
+# everything else is virtual and must match exactly. Refresh the
+# golden with determinism-record after a deliberate timeline change.
+determinism-guard:
+	@$(GO) run ./cmd/litebench chaos | grep -v '^\[' > .chaos.fresh.txt; \
+	if cmp -s GOLDEN_chaos.txt .chaos.fresh.txt; then \
+		rm -f .chaos.fresh.txt; \
+		echo "determinism-guard: chaos replay matches the committed golden"; \
+	else \
+		echo "determinism-guard: DRIFT from GOLDEN_chaos.txt"; \
+		diff GOLDEN_chaos.txt .chaos.fresh.txt || true; \
+		rm -f .chaos.fresh.txt; exit 1; \
+	fi
+
+determinism-record:
+	$(GO) run ./cmd/litebench chaos | grep -v '^\[' > GOLDEN_chaos.txt
 
 # smoke: the harness lists its experiments and one runs end to end.
 smoke:

@@ -64,6 +64,11 @@ func main() {
 			results = append(results, bench.NewJSONResult(id, tab, wall, err))
 		}
 		if err != nil {
+			// Experiments with self-gates return their table alongside
+			// the error so the failing numbers are visible in context.
+			if tab != nil {
+				fmt.Print(tab.Format())
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			failed = true
 			continue
@@ -94,6 +99,13 @@ func main() {
 // flagging a deliberate sub-percent calibration tweak as a regression.
 const compareTolerance = 0.01
 
+// compareEPSBand is the allowed relative deviation for the recorded
+// events/sec figures, the only host-dependent numbers in the feed.
+// The band is generous because the figure moves with the recording
+// host, but a fresh run far below it means the simulator itself got
+// slower.
+const compareEPSBand = 0.25
+
 // compareReport re-runs every experiment recorded in the committed
 // report and compares the virtual durations — the bench guard that
 // catches accidental performance regressions (or unrecorded
@@ -123,6 +135,33 @@ func compareReport(path string) int {
 				r.ID, drift*100, r.VirtualNs, got)
 			code = 1
 			continue
+		}
+		// The event count is exact by construction (same workload, same
+		// deterministic scheduler), so any difference is a behavioral
+		// change, not noise.
+		if r.Events > 0 && tab.Events != r.Events {
+			fmt.Fprintf(os.Stderr, "bench-guard: %s: event count changed: committed %d, fresh run %d (re-run 'make bench-smoke' if the change is intentional)\n",
+				r.ID, r.Events, tab.Events)
+			code = 1
+			continue
+		}
+		// Events/sec is the one host-dependent figure in the feed:
+		// compare within a band instead of exactly. Falling out the
+		// bottom is a simulator performance regression and fails;
+		// overshooting the top just means the committed figure is stale
+		// (or the host fast), which is worth a note, not a failure.
+		if r.EventsPerSec > 0 && tab.EventsPerSec > 0 {
+			rel := tab.EventsPerSec / r.EventsPerSec
+			if rel < 1-compareEPSBand {
+				fmt.Fprintf(os.Stderr, "bench-guard: %s: events/sec regressed to %.0f, committed %.0f (%.0f%% of committed, floor is %.0f%%)\n",
+					r.ID, tab.EventsPerSec, r.EventsPerSec, rel*100, (1-compareEPSBand)*100)
+				code = 1
+				continue
+			}
+			if rel > 1+compareEPSBand {
+				fmt.Printf("bench-guard: %s: note: events/sec is %.0f, %.2fx the committed %.0f — consider refreshing the feed\n",
+					r.ID, tab.EventsPerSec, rel, r.EventsPerSec)
+			}
 		}
 		fmt.Printf("bench-guard: %-10s ok (%dns, %+.2f%%)\n", r.ID, got, drift*100)
 	}

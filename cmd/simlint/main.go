@@ -25,6 +25,17 @@
 //     these paths must walk sorted key slices even when the loop body
 //     looks order-safe today.
 //
+// A file may opt out of the wall-clock rule (only) with the directive
+// comment
+//
+//	//simlint:allow-wallclock <justification>
+//
+// anywhere in the file. It exists for exactly one legitimate use:
+// measurement harnesses that report the simulator's own wall-time
+// speed (events per second), where the host clock is the measurement,
+// not simulation input — wall-clock readings must never influence
+// virtual-time behavior. math/rand stays banned regardless.
+//
 // Import renames are honoured: `import t "time"` followed by t.Now()
 // is still flagged, and a local variable named "time" shadowing the
 // package is not. The map-range rule infers map-typed expressions
@@ -126,7 +137,7 @@ func lintFiles(paths []string) ([]finding, error) {
 	fset := token.NewFileSet()
 	files := make([]*ast.File, 0, len(paths))
 	for _, path := range paths {
-		file, err := parser.ParseFile(fset, path, nil, 0)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
@@ -142,10 +153,25 @@ func lintFiles(paths []string) ([]finding, error) {
 	return findings, nil
 }
 
+// allowWallclock reports whether the file carries the
+// //simlint:allow-wallclock directive (see the package comment).
+func allowWallclock(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//simlint:allow-wallclock") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // lintWallClock flags math/rand imports and host-clock reads through
-// the time package in one file.
+// the time package in one file. The //simlint:allow-wallclock
+// directive suppresses the clock-read rule (never the math/rand rule).
 func lintWallClock(fset *token.FileSet, file *ast.File) []finding {
 	var findings []finding
+	wallclockOK := allowWallclock(file)
 
 	// timeNames collects the local names the "time" package is
 	// imported under in this file ("time" itself, or a rename).
@@ -171,7 +197,7 @@ func lintWallClock(fset *token.FileSet, file *ast.File) []finding {
 			}
 		}
 	}
-	if len(timeNames) > 0 {
+	if len(timeNames) > 0 && !wallclockOK {
 		ast.Inspect(file, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {

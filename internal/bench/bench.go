@@ -32,6 +32,17 @@ type Table struct {
 	// the experiment built. Nil unless metrics collection was enabled
 	// with SetObsEnabled (or an experiment enabled obs itself).
 	Metrics *obs.Snapshot
+
+	// Events is the total number of simulator events dispatched across
+	// every cluster the experiment built (filled by Run). Deterministic
+	// for a given workload, like Virtual.
+	Events int64
+	// EventsPerSec is the simulator's raw wall-time speed measured by
+	// the experiment itself (events dispatched per host second). Only
+	// experiments that measure it set it (see scalebench.go); unlike
+	// every other figure it is host-dependent, so the bench guard
+	// compares it with a tolerance band rather than exactly.
+	EventsPerSec float64
 }
 
 // AddRow appends a formatted row.
@@ -121,6 +132,7 @@ func Run(id string) (*Table, error) {
 			if d := cls.Env.Now(); d > tab.Virtual {
 				tab.Virtual = d
 			}
+			tab.Events += cls.Env.Events()
 		}
 		if obsEnabled {
 			var snaps []obs.Snapshot

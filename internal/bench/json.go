@@ -41,8 +41,14 @@ type JSONResult struct {
 	Notes     []string     `json:"notes,omitempty"`
 	VirtualNs int64        `json:"virtual_ns"`
 	WallNs    int64        `json:"wall_ns"`
+	Events    int64        `json:"events,omitempty"`
 	Metrics   *JSONMetrics `json:"metrics,omitempty"`
 	Error     string       `json:"error,omitempty"`
+	// EventsPerSec is the simulator's wall-time speed as measured by
+	// the experiment (zero for experiments that don't measure it).
+	// Host-dependent: the bench guard compares it within a ±25% band,
+	// unlike the exact virtual_ns comparison.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
 // JSONReport is the top-level BENCH_*.json document. Params snapshots
@@ -67,6 +73,8 @@ func NewJSONResult(id string, tab *Table, wall time.Duration, err error) JSONRes
 	r.Rows = tab.Rows
 	r.Notes = tab.Notes
 	r.VirtualNs = int64(tab.Virtual)
+	r.Events = tab.Events
+	r.EventsPerSec = tab.EventsPerSec
 	if tab.Metrics != nil {
 		r.Metrics = newJSONMetrics(tab.Metrics)
 	}

@@ -152,6 +152,34 @@ type Options struct {
 	// the chunked layout costs under 2% versus one huge region.
 	MaxChunkBytes int64
 
+	// MeshPeers, when non-nil, restricts the boot-time shared-QP mesh
+	// and control-ring setup to node pairs the predicate admits; nil
+	// keeps the paper's full K×N mesh. The predicate is consulted once
+	// per unordered pair (a < b) and must be symmetric in intent. At
+	// datacenter scale the full mesh is exactly the connection
+	// explosion RDMAvisor warns about (500 nodes ≈ 250k QP pairs), and
+	// real deployments bring up connections to the peers a node
+	// actually talks to; the `scale` benchmark meshes clients with the
+	// kvstore servers and the manager only. RPCs are only valid
+	// between meshed pairs — calls to an unmeshed peer have no QPs and
+	// no control ring. Leasing (ConnectPeer) still works on demand for
+	// any pair.
+	MeshPeers func(a, b int) bool
+
+	// CompatBaseline reproduces the host-cost behavior the simulator
+	// had before the 500-node scaling work, for use as a measured
+	// baseline: every completion scans all peers' shared QPs for ones
+	// below the receive low-water mark (instead of visiting only the
+	// QPs whose low-water notification fired), and completion/receive
+	// queues consume by re-slicing their front away (reallocating every
+	// queue lap) instead of the head-indexed ring discipline.
+	// Virtual-time behavior is identical — the same QPs are restocked
+	// and the same completions delivered at the same instants; the
+	// difference is host cost. The scale benchmark uses it to measure
+	// the pre-optimization hot path, and equivalence tests use it to
+	// cross-check the dirty list against the scan.
+	CompatBaseline bool
+
 	// HeartbeatInterval enables failure detection when nonzero: the
 	// cluster manager probes every node with a keepalive RPC at this
 	// period. Zero (the default) disables the detector entirely so
@@ -269,6 +297,15 @@ type Instance struct {
 	sendCQ   *rnic.CQ
 	sendDisp *verbs.Dispatcher
 	recvCQ   *rnic.CQ
+
+	// lowRecv lists shared QPs whose posted-receive count dropped below
+	// the restock low-water mark (fed by rnic.SetRecvLowWater), so
+	// topUpRecvs visits exactly the QPs that need a refill instead of
+	// scanning all peers on every completion. recvTmpl is a read-only
+	// RecvBatch-long refill list (every entry is the same zero-byte IMM
+	// buffer), so restocks are alloc-free at steady state.
+	lowRecv  []*rnic.QP
+	recvTmpl []rnic.PostedRecv
 
 	scratch   scratchRing
 	nextWR    uint64
@@ -397,6 +434,15 @@ func (d *Deployment) tenantWeight(id uint16) int64 {
 	return 1
 }
 
+// meshedPair normalizes a MeshPeers query to the unordered (low, high)
+// form the predicate is specified over.
+func meshedPair(mesh func(a, b int) bool, x, y int) bool {
+	if x > y {
+		x, y = y, x
+	}
+	return mesh(x, y)
+}
+
 // Start boots LITE on every node of the cluster: it registers the
 // global physical-address MR on each NIC, builds the shared K×N queue
 // pair mesh, and starts each node's shared polling thread and
@@ -454,6 +500,9 @@ func Start(cls *cluster.Cluster, opts Options) (*Deployment, error) {
 		}
 		mr.SetOwner("lite/global")
 		inst.globalMR = mr
+		if opts.CompatBaseline {
+			nd.NIC.SetCompatSlidingQueues(true)
+		}
 		inst.sendCQ = nd.NIC.CreateCQ()
 		inst.sendDisp = verbs.NewDispatcher(inst.sendCQ)
 		inst.recvCQ = nd.NIC.CreateCQ()
@@ -469,12 +518,17 @@ func Start(cls *cluster.Cluster, opts Options) (*Deployment, error) {
 	// owning node's single shared send CQ / receive CQ.
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
+			if opts.MeshPeers != nil && !opts.MeshPeers(i, j) {
+				continue
+			}
 			a, b := dep.Instances[i], dep.Instances[j]
 			for k := 0; k < opts.QPsPerPair; k++ {
 				qa := a.node.NIC.CreateQP(rnic.RC, a.sendCQ, a.recvCQ)
 				qb := b.node.NIC.CreateQP(rnic.RC, b.sendCQ, b.recvCQ)
 				qa.SetOwner("lite/shared-mesh")
 				qb.SetOwner("lite/shared-mesh")
+				qa.SetRecvLowWater(opts.RecvBatch/2, a.noteLowRecv)
+				qb.SetRecvLowWater(opts.RecvBatch/2, b.noteLowRecv)
 				qa.Connect(j, qb.QPN())
 				qb.Connect(i, qa.QPN())
 				a.qps[j] = append(a.qps[j], qa)
@@ -493,10 +547,14 @@ func Start(cls *cluster.Cluster, opts Options) (*Deployment, error) {
 	}
 	for _, inst := range dep.Instances {
 		for _, other := range dep.Instances {
-			if other != inst {
-				if err := inst.setupBinding(other.node.ID, funcControl); err != nil {
-					return nil, err
-				}
+			if other == inst {
+				continue
+			}
+			if opts.MeshPeers != nil && !meshedPair(opts.MeshPeers, inst.node.ID, other.node.ID) {
+				continue
+			}
+			if err := inst.setupBinding(other.node.ID, funcControl); err != nil {
+				return nil, err
 			}
 		}
 	}

@@ -1396,32 +1396,67 @@ func (i *Instance) headUpdateLoop(p *simtime.Proc) {
 // in process context; the boot-time call passes nil) and is counted in
 // the lite.recv_restock counters so restock storms show up in
 // -metrics output.
+// The QPs needing a refill arrive on i.lowRecv via the per-QP
+// low-water notification (rnic.SetRecvLowWater), so a restock pass is
+// O(QPs below low water) — at 500 nodes a full scan of every peer's
+// QPs on each completion was the dominant per-event cost.
 func (i *Instance) topUpRecvs(p *simtime.Proc) {
+	if i.opts.CompatBaseline {
+		// Baseline hot path: scan every peer's QPs on each completion.
+		i.lowRecv = i.lowRecv[:0]
+		for _, qs := range i.qps {
+			for _, qp := range qs {
+				i.restockQP(p, qp)
+			}
+		}
+		return
+	}
+	if len(i.lowRecv) == 0 {
+		return
+	}
+	// Detach the dirty list before draining: posting charges doorbell
+	// time, and notifications raised while this process is parked must
+	// land on a fresh list, not the one being iterated.
+	qs := i.lowRecv
+	i.lowRecv = nil
+	for _, qp := range qs {
+		i.restockQP(p, qp)
+	}
+}
+
+// restockQP refills one shared QP to RecvBatch if it is below the
+// low-water mark.
+func (i *Instance) restockQP(p *simtime.Proc, qp *rnic.QP) {
 	low := i.opts.RecvBatch / 2
-	for _, qs := range i.qps {
-		for _, qp := range qs {
-			if qp.RecvPosted() >= low {
-				continue
-			}
-			n := i.opts.RecvBatch - qp.RecvPosted()
-			rs := make([]rnic.PostedRecv, n)
-			for k := range rs {
-				rs[k] = rnic.PostedRecv{MR: i.globalMR, Off: 0, Len: 0}
-			}
-			if p == nil {
-				_ = qp.PostRecvList(rs)
-			} else if i.opts.DisableDoorbellBatch {
-				for _, r := range rs {
-					_ = i.ctx.PostRecv(p, qp, r)
-				}
-			} else {
-				_ = i.ctx.PostRecvList(p, qp, rs)
-			}
-			reg := i.obsReg()
-			reg.Add("lite.recv_restock", 1)
-			reg.Add("lite.recv_restock.posted", int64(n))
+	if qp.RecvPosted() >= low {
+		return // already stocked (duplicate notification)
+	}
+	if len(i.recvTmpl) < i.opts.RecvBatch {
+		i.recvTmpl = make([]rnic.PostedRecv, i.opts.RecvBatch)
+		for k := range i.recvTmpl {
+			i.recvTmpl[k] = rnic.PostedRecv{MR: i.globalMR, Off: 0, Len: 0}
 		}
 	}
+	n := i.opts.RecvBatch - qp.RecvPosted()
+	rs := i.recvTmpl[:n]
+	if p == nil {
+		_ = qp.PostRecvList(rs)
+	} else if i.opts.DisableDoorbellBatch {
+		for _, r := range rs {
+			_ = i.ctx.PostRecv(p, qp, r)
+		}
+	} else {
+		_ = i.ctx.PostRecvList(p, qp, rs)
+	}
+	reg := i.obsReg()
+	reg.Add("lite.recv_restock", 1)
+	reg.Add("lite.recv_restock.posted", int64(n))
+}
+
+// noteLowRecv is the rnic low-water callback: it queues the QP for the
+// next restock pass. Host-side bookkeeping only — no virtual time.
+func (i *Instance) noteLowRecv(qp *rnic.QP) {
+	i.lowRecv = append(i.lowRecv, qp)
 }
 
 // systemWorkerLoop executes LITE-internal RPC handlers (control plane,

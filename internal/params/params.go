@@ -23,6 +23,23 @@ type Config struct {
 	PropagationDelay time.Duration
 	// SwitchDelay is the per-hop switching latency.
 	SwitchDelay time.Duration
+	// ClosLeafNodes is the number of host ports per leaf switch in the
+	// two-tier Clos topology. Zero (the default) keeps the original
+	// single non-blocking switch — the degenerate config every
+	// paper-sized experiment uses. Nodes map to leaves in contiguous
+	// blocks: leaf = node / ClosLeafNodes.
+	ClosLeafNodes int
+	// ClosSpines is the number of spine switches (equivalently, the
+	// number of uplinks per leaf). Cross-leaf flows are spread over
+	// the spines by deterministic flow-keyed ECMP. Values below one
+	// are treated as one. Ignored when ClosLeafNodes is zero.
+	ClosSpines int
+	// ClosUplinkBandwidth is the per-direction bandwidth of one
+	// leaf<->spine uplink in bytes/s. Zero means LinkBandwidth. The
+	// leaf oversubscription ratio is then
+	// ClosLeafNodes*LinkBandwidth / (ClosSpines*ClosUplinkBandwidth);
+	// see Config.ClosOversubscription.
+	ClosUplinkBandwidth float64
 
 	// ---- RNIC ----
 
@@ -223,6 +240,24 @@ func Default() Config {
 		TCPCopyBandwidth: 1.8e9,
 		TCPWindow:        1 << 20,
 	}
+}
+
+// ClosOversubscription returns the leaf oversubscription ratio: the
+// aggregate host-facing bandwidth of one leaf divided by its aggregate
+// uplink bandwidth. It is 1 for the single-switch config.
+func (c *Config) ClosOversubscription() float64 {
+	if c.ClosLeafNodes <= 0 {
+		return 1
+	}
+	spines := c.ClosSpines
+	if spines < 1 {
+		spines = 1
+	}
+	up := c.ClosUplinkBandwidth
+	if up <= 0 {
+		up = c.LinkBandwidth
+	}
+	return float64(c.ClosLeafNodes) * c.LinkBandwidth / (float64(spines) * up)
 }
 
 // TransferTime returns the time to move n bytes at bw bytes/second.

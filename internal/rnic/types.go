@@ -191,31 +191,55 @@ type CQE struct {
 // CQ is a completion queue. Pollers wait on its condition variable;
 // busy-polling callers charge the wait to their CPU account themselves.
 type CQ struct {
-	cqn  int
+	cqn int
+	// q[head:] holds the pending completions. Consuming advances head
+	// instead of re-slicing the base away, and Push compacts in place
+	// when the tail is full — the backing array is reused forever
+	// instead of reallocating once per queue lap (at 1M+ events the
+	// completion path must be alloc-free).
 	q    []CQE
+	head int
 	cond simtime.Cond
+	// sliding restores the pre-ring consume-by-reslice discipline (see
+	// NIC.SetCompatSlidingQueues).
+	sliding bool
 }
 
 // CQN returns the completion queue number.
 func (c *CQ) CQN() int { return c.cqn }
 
 // Len returns the number of pending completions.
-func (c *CQ) Len() int { return len(c.q) }
+func (c *CQ) Len() int { return len(c.q) - c.head }
 
 // Push appends a completion and wakes one poller. It may be called
 // from scheduler callbacks.
 func (c *CQ) Push(e *simtime.Env, cqe CQE) {
+	if !c.sliding && c.head > 0 && len(c.q) == cap(c.q) {
+		n := copy(c.q, c.q[c.head:])
+		clear(c.q[n:])
+		c.q = c.q[:n]
+		c.head = 0
+	}
 	c.q = append(c.q, cqe)
 	c.cond.Signal(e)
 }
 
 // TryPoll removes and returns the oldest completion, if any.
 func (c *CQ) TryPoll() (CQE, bool) {
-	if len(c.q) == 0 {
+	if c.head == len(c.q) {
 		return CQE{}, false
 	}
-	cqe := c.q[0]
-	c.q = c.q[1:]
+	cqe := c.q[c.head]
+	if c.sliding {
+		c.q = c.q[1:] // head stays 0; append reallocates each lap
+		return cqe, true
+	}
+	c.q[c.head] = CQE{} // release references held by the slot
+	c.head++
+	if c.head == len(c.q) {
+		c.q = c.q[:0]
+		c.head = 0
+	}
 	return cqe, true
 }
 
@@ -275,9 +299,25 @@ type QP struct {
 
 	sendCQ *CQ
 	recvCQ *CQ
+	// rq[rqHead:] holds the posted receives, consumed by advancing
+	// rqHead and compacted in place on post — same alloc-free ring
+	// discipline as CQ.q (the restock path was the simulator's single
+	// largest allocation source before this).
 	rq     []PostedRecv
+	rqHead int
+
+	// Low-water notification (see SetRecvLowWater): fires once when the
+	// posted-receive count crosses below lowWater, re-arms when a
+	// restock brings it back to lowWater or above.
+	lowWater int
+	lowFn    func(*QP)
+	lowFired bool
 
 	drops int64 // UD datagrams dropped for lack of a posted receive
+
+	// sliding restores the pre-ring consume-by-reslice discipline (see
+	// NIC.SetCompatSlidingQueues).
+	sliding bool
 
 	owner string // optional subsystem/tenant label for accounting
 }
@@ -321,6 +361,50 @@ func (q *QP) RemoteNode() int { return q.remoteNode }
 // RemoteQPN returns the connected peer's queue pair number (RC only).
 func (q *QP) RemoteQPN() int { return q.remoteQPN }
 
+// SetRecvLowWater arms a low-water notification on the receive queue:
+// fn runs — synchronously, in whatever context consumed the receive —
+// when the posted count crosses from >= lw to < lw, and re-arms once a
+// restock brings the count back to lw or above. The callback is pure
+// host-side bookkeeping and must not consume virtual time. LITE's
+// background reposter uses it to find the QPs needing an IMM-buffer
+// restock in O(QPs below low water) instead of scanning every peer's
+// QPs on each completion.
+func (q *QP) SetRecvLowWater(lw int, fn func(*QP)) {
+	q.lowWater = lw
+	q.lowFn = fn
+	q.lowFired = false
+	q.notifyRecvLow()
+}
+
+// notifyRecvLow fires the armed low-water callback if the queue just
+// dropped below the mark.
+func (q *QP) notifyRecvLow() {
+	if q.lowFn != nil && !q.lowFired && q.RecvPosted() < q.lowWater {
+		q.lowFired = true
+		q.lowFn(q)
+	}
+}
+
+// rearmRecvLow re-arms the notification after a restock refilled the
+// queue.
+func (q *QP) rearmRecvLow() {
+	if q.lowFired && q.RecvPosted() >= q.lowWater {
+		q.lowFired = false
+	}
+}
+
+// compactRQ reclaims consumed slots when the next need entries would
+// not fit in the tail, so the post reuses the backing array instead of
+// growing it.
+func (q *QP) compactRQ(need int) {
+	if !q.sliding && q.rqHead > 0 && len(q.rq)+need > cap(q.rq) {
+		n := copy(q.rq, q.rq[q.rqHead:])
+		clear(q.rq[n:])
+		q.rq = q.rq[:n]
+		q.rqHead = 0
+	}
+}
+
 // PostRecv posts a receive buffer. The buffer's MR must belong to the
 // same node as the QP.
 func (q *QP) PostRecv(r PostedRecv) error {
@@ -330,7 +414,9 @@ func (q *QP) PostRecv(r PostedRecv) error {
 	if err := r.MR.checkRange(r.Off, r.Len); err != nil {
 		return err
 	}
+	q.compactRQ(1)
 	q.rq = append(q.rq, r)
+	q.rearmRecvLow()
 	return nil
 }
 
@@ -350,23 +436,36 @@ func (q *QP) PostRecvList(rs []PostedRecv) error {
 			return err
 		}
 	}
+	q.compactRQ(len(rs))
 	q.rq = append(q.rq, rs...)
+	q.rearmRecvLow()
 	return nil
 }
 
 // RecvPosted returns the number of posted receive buffers.
-func (q *QP) RecvPosted() int { return len(q.rq) }
+func (q *QP) RecvPosted() int { return len(q.rq) - q.rqHead }
 
 // Drops returns the number of UD datagrams dropped because no receive
 // buffer was posted.
 func (q *QP) Drops() int64 { return q.drops }
 
 func (q *QP) popRecv() (PostedRecv, bool) {
-	if len(q.rq) == 0 {
+	if q.rqHead == len(q.rq) {
 		return PostedRecv{}, false
 	}
-	r := q.rq[0]
-	q.rq = q.rq[1:]
+	r := q.rq[q.rqHead]
+	if q.sliding {
+		q.rq = q.rq[1:] // rqHead stays 0; post reallocates each lap
+		q.notifyRecvLow()
+		return r, true
+	}
+	q.rq[q.rqHead] = PostedRecv{} // release the MR reference
+	q.rqHead++
+	if q.rqHead == len(q.rq) {
+		q.rq = q.rq[:0]
+		q.rqHead = 0
+	}
+	q.notifyRecvLow()
 	return r, true
 }
 

@@ -1,0 +1,355 @@
+package simtime
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// calqRand is a tiny deterministic PRNG so the equivalence workloads
+// replay identically run to run.
+type calqRand uint64
+
+func (x *calqRand) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = calqRand(v)
+	return v
+}
+
+// mixedWorkload drives env with a delay mix chosen to land events in
+// every calendar tier — the same-instant run queue (yields), L0 (ns-
+// and µs-scale sleeps), L1 (ms-scale sleeps that cascade on bucket
+// rollover), and the overflow heap (multi-second timers beyond the
+// ~4.3 s L1 horizon) — plus cross-proc signals and scheduler
+// callbacks. It returns the full dispatch trace.
+func mixedWorkload(env *Env, procs, steps int) ([]string, error) {
+	var trace []string
+	var wake Cond
+	for pi := 0; pi < procs; pi++ {
+		pi := pi
+		env.Go(fmt.Sprintf("w%d", pi), func(p *Proc) {
+			rng := calqRand(pi*2654435761 + 1)
+			for k := 0; k < steps; k++ {
+				trace = append(trace, fmt.Sprintf("%d p%d.%d", p.Now(), pi, k))
+				switch rng.next() % 8 {
+				case 0:
+					p.Yield()
+				case 1:
+					p.Sleep(Time(rng.next() % 300)) // same L0 bucket or next
+				case 2:
+					p.Sleep(Time(rng.next() % 100_000)) // within the L0 lap
+				case 3:
+					p.Sleep(Time(2_000_000 + rng.next()%20_000_000)) // L1, cascades
+				case 4:
+					p.Sleep(Time(4_500_000_000 + rng.next()%3_000_000_000)) // overflow
+				case 5:
+					t := p.Now() + Time(rng.next()%5_000)
+					p.Env().At(t, func(e *Env) {
+						trace = append(trace, fmt.Sprintf("%d cb%d.%d", e.Now(), pi, k))
+					})
+				case 6:
+					wake.Signal(p.Env())
+					p.Yield()
+				case 7:
+					if !wake.WaitTimeout(p, Time(rng.next()%3_000_000)) {
+						trace = append(trace, fmt.Sprintf("%d timeout%d.%d", p.Now(), pi, k))
+					}
+				}
+			}
+			// Drain any waiters left on the cond so the run can finish.
+			wake.Broadcast(p.Env())
+		})
+	}
+	err := env.Run()
+	return trace, err
+}
+
+// TestSchedulerEquivalence replays one randomized workload under the
+// calendar-queue scheduler and the legacy binary-heap scheduler and
+// requires bit-identical dispatch traces — the determinism contract
+// that lets every seeded experiment reproduce across scheduler
+// implementations.
+func TestSchedulerEquivalence(t *testing.T) {
+	calTrace, calErr := mixedWorkload(NewEnv(), 24, 40)
+	heapTrace, heapErr := mixedWorkload(NewLegacyEnv(), 24, 40)
+	if (calErr == nil) != (heapErr == nil) {
+		t.Fatalf("run errors diverge: calendar=%v legacy=%v", calErr, heapErr)
+	}
+	if len(calTrace) != len(heapTrace) {
+		t.Fatalf("trace lengths diverge: calendar=%d legacy=%d", len(calTrace), len(heapTrace))
+	}
+	for i := range calTrace {
+		if calTrace[i] != heapTrace[i] {
+			t.Fatalf("traces diverge at step %d: calendar=%q legacy=%q", i, calTrace[i], heapTrace[i])
+		}
+	}
+	if len(calTrace) < 24*40 {
+		t.Fatalf("workload too small to be meaningful: %d trace entries", len(calTrace))
+	}
+}
+
+// TestSameInstantSeqOrder pins the tie-break rule: events scheduled for
+// the same instant dispatch in scheduling (seq) order, whether they
+// sit in the run queue or in the L0 bucket the clock is entering.
+func TestSameInstantSeqOrder(t *testing.T) {
+	env := NewEnv()
+	var got []int
+	const at = Time(1000)
+	for i := 0; i < 32; i++ {
+		i := i
+		env.At(at, func(*Env) { got = append(got, i) })
+	}
+	// A second instant reached via a timer wake, mixing run-queue
+	// entries (scheduled at now) with wheel entries (scheduled before).
+	const at2 = at + 500
+	env.At(at2, func(e *Env) { got = append(got, 100) })
+	env.At(at, func(e *Env) {
+		e.At(at2, func(*Env) { got = append(got, 101) })
+	})
+	env.Go("driver", func(p *Proc) { p.SleepUntil(at2 + 1) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 34 {
+		t.Fatalf("got %d events, want 34", len(got))
+	}
+	for i := 0; i < 32; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant order violated at %d: got %v", i, got[:32])
+		}
+	}
+	// seq order at at2: the boot-time callback (100) was scheduled
+	// before the one armed during the at-batch (101).
+	if got[32] != 100 || got[33] != 101 {
+		t.Fatalf("cross-instant seq order violated: tail %v", got[32:])
+	}
+}
+
+// TestFarFutureOverflow exercises the overflow heap: timers far beyond
+// the ~4.3 s L1 horizon must still fire in (t, seq) order, including
+// when nearer timers are inserted after them (the drain-on-advance
+// invariant).
+func TestFarFutureOverflow(t *testing.T) {
+	env := NewEnv()
+	var got []Time
+	times := []Time{
+		90 * time.Second,
+		10 * time.Second,
+		5 * time.Second,
+		30 * time.Second,
+		10 * time.Second, // duplicate instant: seq breaks the tie
+	}
+	for _, at := range times {
+		at := at
+		env.At(at, func(e *Env) {
+			got = append(got, e.Now())
+			// Schedule a nearer event from inside a drained overflow
+			// event; it must still sort correctly.
+			e.After(time.Millisecond, func(e *Env) { got = append(got, e.Now()) })
+		})
+	}
+	env.Go("driver", func(p *Proc) { p.SleepUntil(100 * time.Second) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{
+		5 * time.Second, 5*time.Second + time.Millisecond,
+		10 * time.Second, 10 * time.Second, 10*time.Second + time.Millisecond, 10*time.Second + time.Millisecond,
+		30 * time.Second, 30*time.Second + time.Millisecond,
+		90 * time.Second, 90*time.Second + time.Millisecond,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestBucketRollover exercises L1 cascade: a sleep past the ~1.05 ms
+// L0 lap lands in L1 and must cascade into L0 (sorted) when the clock
+// reaches its bucket, interleaving correctly with L0-native timers.
+func TestBucketRollover(t *testing.T) {
+	env := NewEnv()
+	var got []Time
+	// One event per 100 µs across 40 ms: every L1 bucket boundary in
+	// range is crossed, and each cascade must preserve order.
+	for i := 1; i <= 400; i++ {
+		env.At(Time(i)*100*time.Microsecond, func(e *Env) { got = append(got, e.Now()) })
+	}
+	env.Go("driver", func(p *Proc) { p.SleepUntil(41 * time.Millisecond) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 400 {
+		t.Fatalf("got %d events, want 400", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("order violated at %d: %v after %v", i, got[i], got[i-1])
+		}
+	}
+	// 400 callbacks + the driver's spawn wake + its sleep wake.
+	if env.Events() != 402 {
+		t.Fatalf("Events() = %d, want 402", env.Events())
+	}
+}
+
+// TestDeadlockReported checks that a stuck simulation names the parked
+// processes instead of hanging, under both schedulers.
+func TestDeadlockReported(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		env  *Env
+	}{{"calendar", NewEnv()}, {"legacy", NewLegacyEnv()}} {
+		var c Cond
+		mk.env.Go("stuck", func(p *Proc) { c.Wait(p) })
+		err := mk.env.Run()
+		var dl *DeadlockError
+		if !errors.As(err, &dl) {
+			t.Fatalf("%s: Run() = %v, want DeadlockError", mk.name, err)
+		}
+		if len(dl.Parked) != 1 || dl.Parked[0] != "stuck" {
+			t.Fatalf("%s: parked = %v, want [stuck]", mk.name, dl.Parked)
+		}
+		if !strings.Contains(dl.Error(), "stuck") {
+			t.Fatalf("%s: error text %q does not name the process", mk.name, dl.Error())
+		}
+	}
+}
+
+// TestSyncAccessors covers the small inspection surface of the sync
+// primitives and the process accessors.
+func TestSyncAccessors(t *testing.T) {
+	env := NewEnv()
+	var mu Mutex
+	var c Cond
+	sem := NewSemaphore(2)
+	ch := NewChan[int](2)
+	env.Go("main", func(p *Proc) {
+		if p.Name() != "main" {
+			t.Errorf("Name() = %q", p.Name())
+		}
+		p.SetTrace("tag")
+		if p.Trace() != "tag" {
+			t.Errorf("Trace() = %v", p.Trace())
+		}
+		acct := &CPUAccount{}
+		p.SetCPUAccount(acct)
+		if p.CPUAccount() != acct {
+			t.Error("CPUAccount() did not round-trip")
+		}
+		p.Work(time.Microsecond)
+		if acct.Busy() != time.Microsecond {
+			t.Errorf("Busy() = %v, want 1µs", acct.Busy())
+		}
+		mu.Lock(p)
+		if !mu.Locked() {
+			t.Error("Locked() = false with the lock held")
+		}
+		mu.Unlock(p)
+		if mu.Locked() {
+			t.Error("Locked() = true after unlock")
+		}
+		if !sem.TryAcquire(p) || sem.Available() != 1 {
+			t.Errorf("TryAcquire/Available = %d, want 1", sem.Available())
+		}
+		sem.Release(p.Env())
+		if !ch.TrySend(p, 7) || ch.Len() != 1 {
+			t.Errorf("TrySend/Len = %d, want 1", ch.Len())
+		}
+		if v, ok := ch.TryRecv(p); !ok || v != 7 {
+			t.Errorf("TryRecv = %d, %v", v, ok)
+		}
+		if ch.Closed() {
+			t.Error("Closed() = true before Close")
+		}
+		ch.Close(p)
+		if !ch.Closed() {
+			t.Error("Closed() = false after Close")
+		}
+		env.Go("waiter", func(p *Proc) { c.Wait(p) })
+		p.Yield()
+		if c.Waiters() != 1 {
+			t.Errorf("Waiters() = %d, want 1", c.Waiters())
+		}
+		c.Signal(p.Env())
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerAccessors covers the resource-server inspection surface.
+func TestServerAccessors(t *testing.T) {
+	env := NewEnv()
+	var srv Server
+	ms := NewMultiServer(2)
+	env.Go("main", func(p *Proc) {
+		srv.Process(p, 10*time.Microsecond)
+		if srv.FreeAt() != 10*time.Microsecond {
+			t.Errorf("FreeAt() = %v, want 10µs", srv.FreeAt())
+		}
+		if srv.BusyTotal() != 10*time.Microsecond {
+			t.Errorf("BusyTotal() = %v, want 10µs", srv.BusyTotal())
+		}
+		ms.Process(p, 4*time.Microsecond)
+		if ms.BusyTotal() != 4*time.Microsecond {
+			t.Errorf("MultiServer.BusyTotal() = %v, want 4µs", ms.BusyTotal())
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// benchTimerChain measures raw scheduler throughput: one process
+// sleeping in a tight loop, so every event is a self-wake (the
+// continuation-stealing fast path; under the legacy scheduler, a full
+// two-handoff park/resume).
+func benchTimerChain(b *testing.B, env *Env) {
+	env.Go("timer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(100)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(env.Events())/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkEnvRun(b *testing.B)       { benchTimerChain(b, NewEnv()) }
+func BenchmarkEnvRunLegacy(b *testing.B) { benchTimerChain(b, NewLegacyEnv()) }
+
+// benchWakeStorm measures cross-proc wakeups under fan-out: 1024
+// processes all sleeping to the same instants, so every round is a
+// thundering herd through the same calendar bucket.
+func benchWakeStorm(b *testing.B, env *Env) {
+	const procs = 1024
+	for pi := 0; pi < procs; pi++ {
+		env.Go(fmt.Sprintf("w%d", pi), func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.SleepUntil(Time(i+1) * time.Microsecond)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(env.Events())/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkWakeStorm(b *testing.B)       { benchWakeStorm(b, NewEnv()) }
+func BenchmarkWakeStormLegacy(b *testing.B) { benchWakeStorm(b, NewLegacyEnv()) }

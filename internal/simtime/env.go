@@ -16,10 +16,28 @@
 // Processes marked as daemons (GoDaemon) do not keep the simulation
 // alive: Run returns once every non-daemon process has finished, which
 // is how long-lived background pollers are modeled.
+//
+// # Scheduling
+//
+// Events live in a calendar queue (see calq.go) and are dispatched in
+// strictly nondecreasing (time, sequence) order; two events at the same
+// instant run in the order they were scheduled. That total order is the
+// determinism contract: it is independent of host speed, GOMAXPROCS,
+// and scheduler implementation, so a seeded run replays bit-identically
+// anywhere.
+//
+// The event loop itself is continuation-stealing: there is no dedicated
+// scheduler goroutine. Whichever process parks runs the dispatch loop
+// inline (sched). If the next event wakes the parking process itself —
+// the overwhelmingly common case for timer-driven code such as NIC
+// pipeline stages and poller ticks — park returns without touching a
+// channel at all. Waking a different process costs exactly one channel
+// send (the resume handoff), down from the legacy scheduler's two
+// (park-notify plus resume). The legacy binary-heap scheduler is kept
+// in legacy.go as the baseline the `scale` benchmark measures against.
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"time"
@@ -46,16 +64,28 @@ const (
 type Env struct {
 	now     Time
 	seq     int64
-	evq     eventHeap
-	parkCh  chan struct{}
+	q       calq
 	nextPID int
+	events  int64
 
-	live    int // non-daemon procs that have not finished
-	procs   map[int]*Proc
-	stopped bool
-	limit   Time // 0 means no limit
+	// doneCh carries Run's result from whichever goroutine ends the
+	// run (buffered so the ender never blocks).
+	doneCh chan error
+
+	// legacy selects the original binary-heap, two-handoff scheduler
+	// (see legacy.go); evq and parkCh are used only in that mode.
+	legacy bool
+	evq    eventHeap
+	parkCh chan struct{}
+
+	live  int // non-daemon procs that have not finished
+	procs map[int]*Proc
+	limit Time // 0 means no limit
 }
 
+// event is a pending wakeup or callback. Events are stored by value
+// inside the calendar queue's buckets, so scheduling allocates nothing
+// in steady state.
 type event struct {
 	t      Time
 	seq    int64
@@ -65,36 +95,23 @@ type event struct {
 	fn     func(*Env) // callback event: runs in scheduler context
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // NewEnv returns an empty simulation environment at virtual time zero.
 func NewEnv() *Env {
 	return &Env{
-		parkCh: make(chan struct{}),
 		procs:  make(map[int]*Proc),
+		doneCh: make(chan error, 1),
 	}
 }
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
+
+// Events returns the number of events dispatched so far: process
+// wakeups delivered plus callbacks run. Stale (superseded) wakeups are
+// not counted. For a given workload the count is deterministic and
+// identical under both schedulers, which makes it the denominator for
+// the events-per-second figure the `scale` benchmark reports.
+func (e *Env) Events() int64 { return e.events }
 
 // SetLimit makes Run stop once virtual time reaches t, even if
 // non-daemon processes are still live. A zero limit means no limit.
@@ -166,12 +183,21 @@ func (e *Env) spawn(name string, fn func(*Proc), daemon bool) *Proc {
 		e.live++
 	}
 	go func() {
-		r := <-p.resume
-		_ = r
+		<-p.resume
 		fn(p)
 		p.done = true
 		p.parked = false
-		e.parkCh <- struct{}{}
+		if e.legacy {
+			e.parkCh <- struct{}{}
+			return
+		}
+		// The finished process is the active goroutine: retire it and
+		// keep driving the event loop until the next handoff.
+		delete(e.procs, p.id)
+		if !p.daemon {
+			e.live--
+		}
+		e.sched(nil)
 	}()
 	e.wakeAt(e.now, p, p.gen, WakeSignal)
 	return p
@@ -184,7 +210,11 @@ func (e *Env) wakeAt(t Time, p *Proc, gen uint64, reason WakeReason) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.evq, &event{t: t, seq: e.seq, p: p, gen: gen, reason: reason})
+	if e.legacy {
+		e.evq.push(&event{t: t, seq: e.seq, p: p, gen: gen, reason: reason})
+		return
+	}
+	e.q.push(e.now, event{t: t, seq: e.seq, p: p, gen: gen, reason: reason})
 }
 
 // At schedules fn to run at virtual time t (or now, if t is in the
@@ -197,7 +227,11 @@ func (e *Env) At(t Time, fn func(*Env)) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.evq, &event{t: t, seq: e.seq, fn: fn})
+	if e.legacy {
+		e.evq.push(&event{t: t, seq: e.seq, fn: fn})
+		return
+	}
+	e.q.push(e.now, event{t: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d from now; see At.
@@ -212,10 +246,75 @@ func (p *Proc) prepareWait() uint64 {
 
 // park blocks the calling process until a wake event for its current
 // generation fires, and returns the reason for the wakeup.
+//
+// The parking process first runs the dispatch loop itself: if the next
+// event is its own wakeup it simply keeps running (zero channel
+// operations); otherwise it hands the scheduler role over with one
+// resume send and blocks on its own resume channel.
 func (p *Proc) park() WakeReason {
+	e := p.env
 	p.parked = true
-	p.env.parkCh <- struct{}{}
+	if e.legacy {
+		e.parkCh <- struct{}{}
+		return <-p.resume
+	}
+	if r, ok := e.sched(p); ok {
+		return r
+	}
 	return <-p.resume
+}
+
+// sched drains the event queue on the calling goroutine. self is the
+// process that just parked (nil when called from Run or a finished
+// process's epilogue). It returns (reason, true) when the next wakeup
+// is for self. Otherwise it ends by either handing the scheduler role
+// to the woken process (one resume send) or completing the run
+// (doneCh), and returns ok=false.
+func (e *Env) sched(self *Proc) (WakeReason, bool) {
+	for {
+		if e.live == 0 {
+			e.doneCh <- nil
+			return 0, false
+		}
+		ev, ok := e.q.pop(e.now)
+		if !ok {
+			e.doneCh <- e.deadlock()
+			return 0, false
+		}
+		if ev.fn != nil {
+			if e.limit > 0 && ev.t > e.limit {
+				e.doneCh <- nil
+				return 0, false
+			}
+			if ev.t > e.now {
+				e.now = ev.t
+			}
+			e.events++
+			ev.fn(e)
+			continue
+		}
+		p := ev.p
+		if ev.gen != p.gen || !p.parked || p.done {
+			// Stale wakeup, superseded by a later prepareWait: skipped
+			// without advancing the clock, exactly like the legacy
+			// scheduler.
+			continue
+		}
+		if e.limit > 0 && ev.t > e.limit {
+			e.doneCh <- nil
+			return 0, false
+		}
+		if ev.t > e.now {
+			e.now = ev.t
+		}
+		e.events++
+		p.parked = false
+		if p == self {
+			return ev.reason, true
+		}
+		p.resume <- ev.reason
+		return 0, false
+	}
 }
 
 // Sleep suspends the process for virtual duration d.
@@ -256,47 +355,11 @@ func (e *DeadlockError) Error() string {
 // the time limit (if set) is reached, or no progress is possible. It
 // returns a *DeadlockError in the latter case and nil otherwise.
 func (e *Env) Run() error {
-	for {
-		if e.live == 0 {
-			return nil
-		}
-		var ev *event
-		for e.evq.Len() > 0 {
-			c := heap.Pop(&e.evq).(*event)
-			if c.fn != nil {
-				if e.limit > 0 && c.t > e.limit {
-					return nil
-				}
-				if c.t > e.now {
-					e.now = c.t
-				}
-				c.fn(e)
-				continue
-			}
-			if c.gen == c.p.gen && c.p.parked && !c.p.done {
-				ev = c
-				break
-			}
-		}
-		if ev == nil {
-			return e.deadlock()
-		}
-		if e.limit > 0 && ev.t > e.limit {
-			return nil
-		}
-		if ev.t > e.now {
-			e.now = ev.t
-		}
-		ev.p.parked = false
-		ev.p.resume <- ev.reason
-		<-e.parkCh
-		if ev.p.done {
-			delete(e.procs, ev.p.id)
-			if !ev.p.daemon {
-				e.live--
-			}
-		}
+	if e.legacy {
+		return e.runLegacy()
 	}
+	e.sched(nil)
+	return <-e.doneCh
 }
 
 func (e *Env) deadlock() error {

@@ -1,0 +1,97 @@
+package simtime
+
+import "container/heap"
+
+// This file preserves the original scheduler — a container/heap binary
+// heap of pointer events plus a dedicated Run goroutine that pays two
+// channel handoffs per process wakeup (the park notification and the
+// resume send). It is retained for two reasons:
+//
+//   - It is the measured baseline: the `scale` litebench experiment
+//     runs the same 500-node workload under both schedulers and gates
+//     on the calendar queue's events-per-second advantage.
+//   - It is a cross-check oracle: tests drive identical workloads
+//     through both schedulers and assert bit-identical event orders.
+
+// NewLegacyEnv returns an environment driven by the original
+// binary-heap, two-handoff scheduler. Semantics and event ordering are
+// identical to NewEnv; only the wall-time cost differs.
+func NewLegacyEnv() *Env {
+	return &Env{
+		legacy: true,
+		parkCh: make(chan struct{}),
+		procs:  make(map[int]*Proc),
+	}
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+func (h *eventHeap) push(ev *event) { heap.Push(h, ev) }
+func (h *eventHeap) popMin() *event { return heap.Pop(h).(*event) }
+
+// runLegacy is the original scheduler loop: a dedicated goroutine (the
+// Run caller) that pops events, resumes parked processes one at a
+// time, and waits for each to park again before continuing.
+func (e *Env) runLegacy() error {
+	for {
+		if e.live == 0 {
+			return nil
+		}
+		var ev *event
+		for e.evq.Len() > 0 {
+			c := e.evq.popMin()
+			if c.fn != nil {
+				if e.limit > 0 && c.t > e.limit {
+					return nil
+				}
+				if c.t > e.now {
+					e.now = c.t
+				}
+				e.events++
+				c.fn(e)
+				continue
+			}
+			if c.gen == c.p.gen && c.p.parked && !c.p.done {
+				ev = c
+				break
+			}
+		}
+		if ev == nil {
+			return e.deadlock()
+		}
+		if e.limit > 0 && ev.t > e.limit {
+			return nil
+		}
+		if ev.t > e.now {
+			e.now = ev.t
+		}
+		e.events++
+		ev.p.parked = false
+		ev.p.resume <- ev.reason
+		<-e.parkCh
+		if ev.p.done {
+			delete(e.procs, ev.p.id)
+			if !ev.p.daemon {
+				e.live--
+			}
+		}
+	}
+}
