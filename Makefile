@@ -57,11 +57,12 @@ bench:
 	$(GO) run ./cmd/litebench -all
 
 # bench-smoke regenerates the machine-readable perf feed from a fast
-# experiment subset (sub-second each, except scale: the 500-node run
+# experiment subset (sub-second each, except scale — the 500-node run
 # deliberately includes the expensive pre-PR baseline for its speedup
-# gate and takes about a minute).
+# gate — and the three 500-node stressors churn/incast/rebalance,
+# which run twice each for their built-in replay check).
 bench-smoke:
-	$(GO) run ./cmd/litebench -metrics -json BENCH_litebench.json trace breakdown tput tail saturate fairness lease drain tenants scale
+	$(GO) run ./cmd/litebench -metrics -json BENCH_litebench.json trace breakdown tput tail saturate fairness lease drain tenants scale churn incast rebalance
 
 # bench-guard re-runs the experiments recorded in the committed feed
 # and fails if any virtual-time figure drifted: performance changes
@@ -77,26 +78,34 @@ bench-guard:
 migrate-chaos:
 	$(GO) test -race -count=1 -run TestMigrationChaos ./internal/faults/
 
-# determinism-guard replays the seeded chaos experiment and diffs its
-# table against the committed golden byte for byte. The chaos run
-# exercises every layer (scheduler, wakeups, fabric, faults, RPC), so
-# any scheduler or fabric change that moves a single event shows up
-# here immediately. Wall-time footer lines (bracketed) are stripped;
-# everything else is virtual and must match exactly. Refresh the
-# golden with determinism-record after a deliberate timeline change.
-determinism-guard:
-	@$(GO) run ./cmd/litebench chaos | grep -v '^\[' > .chaos.fresh.txt; \
-	if cmp -s GOLDEN_chaos.txt .chaos.fresh.txt; then \
-		rm -f .chaos.fresh.txt; \
-		echo "determinism-guard: chaos replay matches the committed golden"; \
+# determinism-guard replays the seeded chaos experiment and the
+# 500-node churn storm and diffs their tables against the committed
+# goldens byte for byte. Chaos exercises every layer (scheduler,
+# wakeups, fabric, faults, RPC) at small scale; churn replays a
+# whole-leaf failure on the Clos fabric — mass declarations, lease
+# revocation, shard failover — so any scheduler or fabric change that
+# moves a single event shows up here immediately. Wall-time footer
+# lines (bracketed) are stripped; everything else is virtual and must
+# match exactly. Refresh the goldens with determinism-record after a
+# deliberate timeline change.
+define check_golden
+	@$(GO) run ./cmd/litebench $(1) | grep -v '^\[' > .$(1).fresh.txt; \
+	if cmp -s $(2) .$(1).fresh.txt; then \
+		rm -f .$(1).fresh.txt; \
+		echo "determinism-guard: $(1) replay matches the committed golden"; \
 	else \
-		echo "determinism-guard: DRIFT from GOLDEN_chaos.txt"; \
-		diff GOLDEN_chaos.txt .chaos.fresh.txt || true; \
-		rm -f .chaos.fresh.txt; exit 1; \
+		echo "determinism-guard: DRIFT from $(2)"; \
+		diff $(2) .$(1).fresh.txt || true; \
+		rm -f .$(1).fresh.txt; exit 1; \
 	fi
+endef
+determinism-guard:
+	$(call check_golden,chaos,GOLDEN_chaos.txt)
+	$(call check_golden,churn,GOLDEN_churn.txt)
 
 determinism-record:
 	$(GO) run ./cmd/litebench chaos | grep -v '^\[' > GOLDEN_chaos.txt
+	$(GO) run ./cmd/litebench churn | grep -v '^\[' > GOLDEN_churn.txt
 
 # smoke: the harness lists its experiments and one runs end to end.
 smoke:

@@ -1,0 +1,87 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+
+	"lite/internal/lite"
+	"lite/internal/simtime"
+)
+
+// Regression for a cross-run determinism bug the rebalance stress run
+// flushed out: store ids came from a process-global counter, so how
+// many stores *earlier simulations in the same process* had created
+// decided this run's ids. The id feeds LMR names ("kv<id>-..."), which
+// ride inside Malloc control messages and Put replies — one extra
+// digit grows those messages a byte, their serialization time shifts,
+// and a supposedly seed-identical run drifts. Ids now come from
+// deployment-scoped state (lite.Deployment.NextAppSeq).
+
+// runStoreWorkload builds a fresh deployment with nstores stores on
+// one node, drives puts/gets through a drain, and returns the store
+// ids plus the virtual end time — the drift detector.
+func runStoreWorkload(t *testing.T, nstores int) ([]int, simtime.Time) {
+	t.Helper()
+	cls, dep := testEnv(t, 4)
+	ids := make([]int, 0, nstores)
+	stores := make([]*Store, nstores)
+	for i := 0; i < nstores; i++ {
+		s, err := StartFn(cls, dep, []int{1}, 2, lite.FirstUserFunc+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = s
+		ids = append(ids, s.id)
+	}
+	cls.GoOn(3, "client", func(p *simtime.Proc) {
+		for gen := 0; gen < 4; gen++ {
+			for i, s := range stores {
+				k := s.NewClient(3)
+				for j := 0; j < 6; j++ {
+					key := fmt.Sprintf("k%d-%d", i, j)
+					if err := k.Put(p, key, []byte(fmt.Sprintf("v%d", gen))); err != nil {
+						t.Errorf("put: %v", err)
+					}
+					if _, err := k.Get(p, key); err != nil {
+						t.Errorf("get: %v", err)
+					}
+				}
+			}
+			p.Sleep(20 * 1000)
+		}
+	})
+	cls.GoOn(1, "drain", func(p *simtime.Proc) {
+		p.SleepUntil(50 * 1000)
+		if err := stores[0].DrainShard(p, 1, 2); err != nil {
+			t.Errorf("DrainShard: %v", err)
+		}
+	})
+	if err := cls.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return ids, cls.Env.Now()
+}
+
+// TestStoreIDsAreDeploymentScoped perturbs what a process-global
+// counter would see — a warm-up deployment that creates seven stores,
+// walking such a counter across the one-digit/two-digit boundary —
+// then runs the same workload twice. With global state the second run
+// mints wider ids, its LMR names and replies grow, and the timelines
+// diverge; deployment-scoped ids must make the runs bit-identical.
+func TestStoreIDsAreDeploymentScoped(t *testing.T) {
+	warmIDs, _ := runStoreWorkload(t, 7)
+	firstIDs, firstEnd := runStoreWorkload(t, 3)
+	secondIDs, secondEnd := runStoreWorkload(t, 3)
+
+	for i, id := range warmIDs {
+		if want := i + 1; id != want {
+			t.Fatalf("warm-up store %d got id %d, want %d (ids must restart per deployment)", i, id, want)
+		}
+	}
+	if fmt.Sprint(firstIDs) != fmt.Sprint(secondIDs) {
+		t.Fatalf("store ids differ across identical runs: %v vs %v", firstIDs, secondIDs)
+	}
+	if firstEnd != secondEnd {
+		t.Fatalf("identical runs ended at %v and %v: id state leaked between simulations", firstEnd, secondEnd)
+	}
+}

@@ -59,6 +59,11 @@ type Store struct {
 	servers []int
 	id      int
 	threads int
+	// fn is the RPC function id this store's metadata path speaks —
+	// kvFn for Start, caller-chosen for StartFn (several independent
+	// single-server stores can then coexist as shards of a larger
+	// keyspace without colliding on one function id).
+	fn int
 	// isServer marks the nodes currently serving a shard (it changes
 	// when DrainShard re-homes one); srvs holds their live server
 	// structs so a migration can reach the source's index.
@@ -67,23 +72,32 @@ type Store struct {
 	gen      int
 }
 
-var storeSeq int
-
 // Start deploys the store's metadata servers on the given nodes. Each
 // server node runs `threads` RPC server threads. A server node that
 // crashes and restarts comes back with an empty index — its values
 // died with it — and its serving threads are re-armed automatically.
 func Start(cls *cluster.Cluster, dep *lite.Deployment, servers []int, threads int) (*Store, error) {
-	storeSeq++
+	return StartFn(cls, dep, servers, threads, kvFn)
+}
+
+// StartFn is Start with a caller-chosen RPC function id in
+// [lite.FirstUserFunc, lite.MaxFunc). Rebalancing harnesses use it to
+// deploy one store per shard, each on its own function id, so shards
+// route and migrate independently.
+func StartFn(cls *cluster.Cluster, dep *lite.Deployment, servers []int, threads, fn int) (*Store, error) {
+	// The store id feeds LMR names, which ride in Malloc control
+	// messages and Put replies — it must come from deployment-scoped
+	// state, or two seed-identical runs mint different-width ids and
+	// their message timings drift (see Deployment.NextAppSeq).
 	s := &Store{
-		cls: cls, dep: dep, servers: servers, id: storeSeq,
-		threads:  threads,
+		cls: cls, dep: dep, servers: servers, id: int(dep.NextAppSeq()),
+		threads: threads, fn: fn,
 		isServer: make(map[int]bool, len(servers)),
 		srvs:     make(map[int]*server, len(servers)),
 	}
 	for _, node := range servers {
 		s.isServer[node] = true
-		if err := dep.Instance(node).RegisterRPC(kvFn); err != nil {
+		if err := dep.Instance(node).RegisterRPC(s.fn); err != nil {
 			return nil, err
 		}
 		s.spawn(node)
@@ -145,6 +159,9 @@ type server struct {
 	gen   int
 	index map[string]*entry
 	seq   int
+	// served counts metadata-path requests handled by this incarnation;
+	// load-driven rebalancers read it through Store.ServedOps.
+	served int64
 	// tcs caches per-tenant clients so a tenant's value LMRs are
 	// allocated in that tenant's namespace (another tenant cannot map
 	// or read them, even knowing the LMR name).
@@ -177,14 +194,15 @@ func (srv *server) allocClient(c *lite.Client, ten uint16) *lite.Client {
 
 func (srv *server) loop(p *simtime.Proc) {
 	c := srv.store.dep.Instance(srv.node).KernelClient()
-	call, err := c.RecvRPC(p, kvFn)
+	call, err := c.RecvRPC(p, srv.store.fn)
 	for err == nil {
 		out := srv.handle(p, c, call)
-		call, err = c.ReplyRecvRPC(p, call, out, kvFn)
+		call, err = c.ReplyRecvRPC(p, call, out, srv.store.fn)
 	}
 }
 
 func (srv *server) handle(p *simtime.Proc, c *lite.Client, call *lite.Call) []byte {
+	srv.served++
 	var req request
 	var resp response
 	if json.Unmarshal(call.Input, &req) == nil {
@@ -331,10 +349,10 @@ func (k *Client) serverFor(key string) int {
 // restarted server. A second ambiguous answer is surfaced: something
 // is wrong beyond a single unlucky restart.
 func (k *Client) metaRPC(p *simtime.Proc, dst int, req []byte) ([]byte, error) {
-	out, err := k.c.RPCRetry(p, dst, kvFn, req, 512)
+	out, err := k.c.RPCRetry(p, dst, k.store.fn, req, 512)
 	if errors.Is(err, lite.ErrMaybeExecuted) {
 		k.Resubmits++
-		out, err = k.c.RPCRetry(p, dst, kvFn, req, 512)
+		out, err = k.c.RPCRetry(p, dst, k.store.fn, req, 512)
 	}
 	if errors.Is(err, lite.ErrOverloaded) {
 		k.Overloads++
@@ -366,7 +384,7 @@ func (k *Client) Put(p *simtime.Proc, key string, value []byte) error {
 func (k *Client) PutOnce(p *simtime.Proc, key string, value []byte) error {
 	key = k.prefix + key
 	req, _ := json.Marshal(request{Op: "put", Key: key, Value: value})
-	out, err := k.c.RPC(p, k.serverFor(key), kvFn, req, 512)
+	out, err := k.c.RPC(p, k.serverFor(key), k.store.fn, req, 512)
 	if err != nil {
 		return err
 	}
@@ -384,7 +402,7 @@ func (k *Client) PutOnce(p *simtime.Proc, key string, value []byte) error {
 func (k *Client) LookupOnce(p *simtime.Proc, key string) error {
 	key = k.prefix + key
 	req, _ := json.Marshal(request{Op: "lookup", Key: key})
-	out, err := k.c.RPC(p, k.serverFor(key), kvFn, req, 512)
+	out, err := k.c.RPC(p, k.serverFor(key), k.store.fn, req, 512)
 	if err != nil {
 		return err
 	}

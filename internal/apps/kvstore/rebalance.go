@@ -38,8 +38,10 @@ func (s *Store) DrainShard(p *simtime.Proc, from, to int) error {
 	if from == to {
 		return fmt.Errorf("kvstore: shard at node %d is already there", from)
 	}
-	s.dep.Instance(to).OnAdopt(kvFn, s.adoptHook(to))
-	err := s.dep.Instance(from).Drain(p, kvFn, to, s.shardState(from, to))
+	// Source-scoped hook: concurrent drains of other stores sharing this
+	// fn onto the same target must not overwrite each other's adoption.
+	s.dep.Instance(to).OnAdoptFrom(s.fn, from, s.adoptHook(to))
+	err := s.dep.Instance(from).Drain(p, s.fn, to, s.shardState(from, to))
 	if err != nil {
 		return err
 	}
@@ -55,6 +57,29 @@ func (s *Store) DrainShard(p *simtime.Proc, from, to int) error {
 	s.isServer[to] = true
 	delete(s.srvs, from)
 	return nil
+}
+
+// ServedOps returns the number of metadata-path requests the server
+// incarnation currently on node has handled, or 0 if node serves no
+// shard of this store. Load-driven rebalancers sample it periodically;
+// the delta between samples is the shard's request rate.
+func (s *Store) ServedOps(node int) int64 {
+	if srv := s.srvs[node]; srv != nil {
+		return srv.served
+	}
+	return 0
+}
+
+// ServerNodes returns the nodes currently serving this store, sorted.
+func (s *Store) ServerNodes() []int {
+	var nodes []int
+	for n, on := range s.isServer {
+		if on {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Ints(nodes)
+	return nodes
 }
 
 // shardState returns the Drain appState callback: it runs on the
@@ -114,8 +139,8 @@ func (s *Store) adoptHook(node int) lite.AdoptFunc {
 		srv, ok := s.srvs[node]
 		if !ok {
 			inst := s.dep.Instance(node)
-			if !inst.RPCRegistered(kvFn) {
-				if err := inst.RegisterRPC(kvFn); err != nil {
+			if !inst.RPCRegistered(s.fn) {
+				if err := inst.RegisterRPC(s.fn); err != nil {
 					return err
 				}
 			}

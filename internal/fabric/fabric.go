@@ -462,5 +462,29 @@ func (f *Fabric) UplinkBusy(leaf, spine int) simtime.Time {
 	return 0
 }
 
+// DownlinkBusy returns the total busy time of the spine->leaf
+// downlink, for incast reporting: a fan-in onto one leaf serializes on
+// its downlinks, so their busy fraction is the bottleneck signal. Zero
+// if the link has carried no traffic (or in single-switch mode).
+func (f *Fabric) DownlinkBusy(spine, leaf int) simtime.Time {
+	if spine >= 0 && spine < len(f.downlinks) {
+		if row := f.downlinks[spine]; leaf >= 0 && leaf < len(row) {
+			return row[leaf].BusyTotal()
+		}
+	}
+	return 0
+}
+
+// IngressBusy returns the total busy time of a node's ingress link
+// (the NIC-side serialization), the counterpart probe to DownlinkBusy:
+// an incast is fabric-bound when the victim's downlink busy fraction
+// exceeds its NIC ingress busy fraction.
+func (f *Fabric) IngressBusy(node int) simtime.Time {
+	if p := f.port(node); p != nil {
+		return p.ingress.BusyTotal()
+	}
+	return 0
+}
+
 // Ports returns the number of registered ports.
 func (f *Fabric) Ports() int { return f.nports }

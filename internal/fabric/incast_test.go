@@ -1,0 +1,130 @@
+package fabric
+
+import (
+	"sort"
+	"testing"
+
+	"lite/internal/params"
+	"lite/internal/simtime"
+)
+
+// newIncastClos builds a 12-node, 4-hosts-per-leaf fabric with 4:1
+// oversubscribed uplinks, so a fan-in onto one host is fabric-bound.
+func newIncastClos(t *testing.T, spines int) (*Fabric, *params.Config) {
+	t.Helper()
+	cfg := params.Default()
+	cfg.ClosLeafNodes = 4
+	cfg.ClosSpines = spines
+	cfg.ClosUplinkBandwidth = cfg.LinkBandwidth / 4
+	f := New(&cfg)
+	for i := 0; i < 12; i++ {
+		if err := f.AddPort(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f, &cfg
+}
+
+// incastSenders are the eight cross-leaf sources (leaves 1 and 2)
+// fanning in on the victim, node 0 on leaf 0.
+var incastSenders = []int{4, 5, 6, 7, 8, 9, 10, 11}
+
+const incastVictim = 0
+
+// TestDownlinkIncastSerializes pins the incast occupancy model on a
+// single-spine fabric, where the victim leaf has exactly one downlink:
+// eight senders released at the same instant must complete spaced by
+// exactly one uplink-rate serialization time (the downlink is an
+// occupancy server draining one flow at a time), DownlinkBusy must
+// account for all eight, and the downlink busy time must dominate the
+// victim's NIC ingress busy time — the fabric, not the NIC, is the
+// measured bottleneck.
+func TestDownlinkIncastSerializes(t *testing.T) {
+	f, cfg := newIncastClos(t, 1)
+	size := int64(1 << 20)
+	ser := params.TransferTime(size, cfg.LinkBandwidth)
+	serUp := params.TransferTime(size, cfg.ClosUplinkBandwidth)
+
+	var dones []simtime.Time
+	for _, src := range incastSenders {
+		if spine := f.SpineFor(src, incastVictim); spine != 0 {
+			t.Fatalf("SpineFor(%d, victim) = %d, want 0", src, spine)
+		}
+		done, ok := f.ReservePath(0, src, incastVictim, size)
+		if !ok {
+			t.Fatalf("sender %d unreachable", src)
+		}
+		dones = append(dones, done)
+	}
+	sort.Slice(dones, func(a, b int) bool { return dones[a] < dones[b] })
+	for k := 1; k < len(dones); k++ {
+		if gap := dones[k] - dones[k-1]; gap != serUp {
+			t.Errorf("completion gap %d->%d = %v, want %v (downlink must serialize)", k-1, k, gap, serUp)
+		}
+	}
+
+	down := f.DownlinkBusy(0, f.LeafOf(incastVictim))
+	if want := simtime.Time(len(incastSenders)) * serUp; down != want {
+		t.Errorf("DownlinkBusy = %v, want %v (%d flows x %v)", down, want, len(incastSenders), serUp)
+	}
+	ingress := f.IngressBusy(incastVictim)
+	if want := simtime.Time(len(incastSenders)) * ser; ingress != want {
+		t.Errorf("IngressBusy(victim) = %v, want %v", ingress, want)
+	}
+	// The NIC drains at LinkBandwidth while the downlink feeds it at a
+	// quarter of that: fabric occupancy must dominate.
+	if down <= ingress {
+		t.Errorf("downlink busy %v <= NIC ingress busy %v: incast is not fabric-bound", down, ingress)
+	}
+}
+
+// TestIncastBusyAccounting spreads the same fan-in over two spines and
+// checks the probes' bookkeeping: every flow is serialized exactly once
+// on its source leaf's uplink and once on the victim leaf's downlink,
+// per (leaf, spine) pair, with nothing lost and nothing double-counted.
+func TestIncastBusyAccounting(t *testing.T) {
+	f, cfg := newIncastClos(t, 2)
+	size := int64(1 << 20)
+	serUp := params.TransferTime(size, cfg.ClosUplinkBandwidth)
+
+	downFlows := make(map[int]int)  // spine -> flows through its victim-leaf downlink
+	upFlows := make(map[[2]int]int) // (srcLeaf, spine) -> flow count
+	for _, src := range incastSenders {
+		spine := f.SpineFor(src, incastVictim)
+		if spine < 0 || spine > 1 {
+			t.Fatalf("SpineFor(%d, victim) = %d, out of range", src, spine)
+		}
+		if _, ok := f.ReservePath(0, src, incastVictim, size); !ok {
+			t.Fatalf("sender %d unreachable", src)
+		}
+		downFlows[spine]++
+		upFlows[[2]int{f.LeafOf(src), spine}]++
+	}
+
+	var downBusy, upBusy simtime.Time
+	for spine, n := range downFlows {
+		want := simtime.Time(n) * serUp
+		if got := f.DownlinkBusy(spine, f.LeafOf(incastVictim)); got != want {
+			t.Errorf("DownlinkBusy(spine %d) = %v, want %v (%d flows)", spine, got, want, n)
+		}
+		downBusy += want
+	}
+	for ls, n := range upFlows {
+		want := simtime.Time(n) * serUp
+		if got := f.UplinkBusy(ls[0], ls[1]); got != want {
+			t.Errorf("UplinkBusy(leaf %d, spine %d) = %v, want %v", ls[0], ls[1], got, want)
+		}
+		upBusy += want
+	}
+	if upBusy != downBusy {
+		t.Errorf("uplink busy %v != downlink busy %v: a flow crossed only one tier", upBusy, downBusy)
+	}
+
+	// Idle links report zero; out-of-range probes are harmless.
+	if f.DownlinkBusy(0, 2) != 0 || f.DownlinkBusy(1, 2) != 0 {
+		t.Error("downlink toward a leaf that received nothing reports busy time")
+	}
+	if f.UplinkBusy(-1, 0) != 0 || f.DownlinkBusy(0, 99) != 0 || f.UplinkBusy(0, 99) != 0 {
+		t.Error("out-of-range busy probe returned nonzero")
+	}
+}

@@ -38,6 +38,7 @@ const (
 	cstPermission
 	cstNoMemory
 	cstBadArg
+	cstBusy // migration admission: target already receiving this fn
 )
 
 func cstToErr(b byte) error {
@@ -52,6 +53,8 @@ func cstToErr(b byte) error {
 		return ErrPermission
 	case cstNoMemory:
 		return hostmem.ErrOutOfMemory
+	case cstBusy:
+		return ErrMigrating
 	}
 	return ErrRemoteFailed
 }
@@ -68,6 +71,8 @@ func errToCst(err error) byte {
 		return cstPermission
 	case hostmem.ErrOutOfMemory, hostmem.ErrNoContiguous:
 		return cstNoMemory
+	case ErrMigrating:
+		return cstBusy
 	}
 	return cstError
 }
@@ -436,6 +441,18 @@ func (i *Instance) handleControl(p *simtime.Proc, c *Call) {
 			reply(cstBadArg, nil)
 			return
 		}
+		// Per-target admission: at most one in-flight handoff of a
+		// given fn may target a node. Two concurrent drains of distinct
+		// shards sharing fn onto one target would interleave their
+		// transfer/commit phases against a single fn-keyed adoption slot
+		// on the target; the loser is bounced with cstBusy and retries
+		// after the winner commits.
+		for k, to := range m.handoff {
+			if k.fn == fn && to == target && k.src != c.Src {
+				reply(cstBusy, nil)
+				return
+			}
+		}
 		// The handoff record is routing-inert; it exists to gate the
 		// commit, so a crash between here and commit resolves to the
 		// moves table's answer, deterministically.
@@ -481,6 +498,17 @@ func (i *Instance) handleControl(p *simtime.Proc, c *Call) {
 		m.epoch++
 		i.obsReg().Add("lite.membership.epochs", 1)
 		i.obsReg().Add("lite.migrate.commits", 1)
+		if i.opts.AsyncCommitBroadcast {
+			// The moves-table update above is the linearization point;
+			// ack the source now and recite the epoch to the cluster in
+			// the background. broadcastMembership's coalescing flags
+			// make a concurrent second entry a cheap dirty-mark.
+			reply(cstOK, nil)
+			i.cls.GoDaemonOn(i.node.ID, "lite-memb-broadcast", func(q *simtime.Proc) {
+				i.broadcastMembership(q)
+			})
+			return
+		}
 		i.broadcastMembership(p)
 		reply(cstOK, nil)
 

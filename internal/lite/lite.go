@@ -191,6 +191,25 @@ type Options struct {
 	// manager declares a node dead and broadcasts a new membership
 	// epoch.
 	HeartbeatMiss int
+	// ProbeStagger spreads the manager's per-target prober phases
+	// deterministically across the heartbeat interval (offset derived
+	// from the target id, not wall-clock). At hundreds of nodes this
+	// turns the manager's probe traffic from one synchronized burst per
+	// interval — which a leaf failure converts into a correlated
+	// timeout storm — into a flat trickle. Off by default so existing
+	// recorded timelines are unchanged.
+	ProbeStagger bool
+	// AsyncCommitBroadcast acks a migration commit before fanning the
+	// new membership epoch out to the cluster, instead of after. The
+	// commit's linearization point is the manager's moves-table update
+	// either way; what the synchronous fan-out adds is an O(cluster)
+	// wait — ~3.2ms at 500 nodes — spent with the source still fenced
+	// and every held client call parked behind it. The rebalance storm
+	// flushed this out: each shard move's fence window was dominated
+	// not by quiesce or transfer but by the manager reciting the epoch
+	// to 499 bystanders. Off by default so existing recorded timelines
+	// are unchanged.
+	AsyncCommitBroadcast bool
 	// RetryAttempts bounds the RPC retry wrapper (RPCRetry); each
 	// attempt pays its own timeout.
 	RetryAttempts int
@@ -359,6 +378,13 @@ type Instance struct {
 	moved     map[migKey]int
 	adopted   map[bindKey]*adoptedWindow
 	onAdopt   map[int]AdoptFunc
+	// onAdoptFrom holds source-scoped adoption hooks, keyed (src, fn)
+	// and consumed by the first matching adoption. Concurrent drains of
+	// distinct shards that share a function id (every kvstore shard
+	// speaks the same fn) land on the same target; a single fn-keyed
+	// hook would route both transfers through whichever hook was
+	// registered last.
+	onAdoptFrom map[migKey]AdoptFunc
 
 	// Lease state (lease.go): the node's view of the kernel connection
 	// pool plus the pre-allocated ring arenas.
@@ -370,6 +396,11 @@ type Instance struct {
 
 	// Sync state (sync.go).
 	locks map[uint64]*lockState
+	// lockSeq mints lock ids. Per-instance, not process-global: ids are
+	// fixed-width so a global counter cannot skew timing the way the
+	// store-id counter did, but replayed runs should still mint
+	// identical ids.
+	lockSeq uint64
 
 	// QoS state (qos.go).
 	qos qosState
@@ -396,6 +427,7 @@ type Deployment struct {
 	// other nodes pay an RPC round trip to the manager.
 	directory map[string]*lmrState
 	nextLMRID uint64
+	appSeq    uint64
 	barriers  map[uint64]*barrierState
 	qsig      qosSignals
 
@@ -463,31 +495,32 @@ func Start(cls *cluster.Cluster, opts Options) (*Deployment, error) {
 	n := len(cls.Nodes)
 	for _, nd := range cls.Nodes {
 		inst := &Instance{
-			cls:       cls,
-			node:      nd,
-			opts:      opts,
-			cfg:       cls.Cfg,
-			dep:       dep,
-			ctx:       verbs.Open(nd.NIC, nd.KernelAS),
-			qps:       make([][]*rnic.QP, n),
-			qpSlots:   make([][]*simtime.Semaphore, n),
-			qpSig:     make([][]*qpSigState, n),
-			nextQP:    make([]int, n),
-			lhs:       make(map[uint64]*lhEntry),
-			nextLH:    1,
-			localLMR:  make(map[uint64]*lmrState),
-			funcs:     make(map[int]*rpcFunc),
-			bindings:  make(map[bindKey]*binding),
-			srvRings:  make(map[bindKey]*srvRing),
-			pending:   make(map[uint32]*pendingCall),
-			headUpd:   simtime.NewChan[headUpdate](4096),
-			locks:     make(map[uint64]*lockState),
-			deadView:  make(map[int]bool),
-			migrating: make(map[int]*migState),
-			moved:     make(map[migKey]int),
-			adopted:   make(map[bindKey]*adoptedWindow),
-			onAdopt:   make(map[int]AdoptFunc),
-			pacer:     make(map[bindKey]simtime.Time),
+			cls:         cls,
+			node:        nd,
+			opts:        opts,
+			cfg:         cls.Cfg,
+			dep:         dep,
+			ctx:         verbs.Open(nd.NIC, nd.KernelAS),
+			qps:         make([][]*rnic.QP, n),
+			qpSlots:     make([][]*simtime.Semaphore, n),
+			qpSig:       make([][]*qpSigState, n),
+			nextQP:      make([]int, n),
+			lhs:         make(map[uint64]*lhEntry),
+			nextLH:      1,
+			localLMR:    make(map[uint64]*lmrState),
+			funcs:       make(map[int]*rpcFunc),
+			bindings:    make(map[bindKey]*binding),
+			srvRings:    make(map[bindKey]*srvRing),
+			pending:     make(map[uint32]*pendingCall),
+			headUpd:     simtime.NewChan[headUpdate](4096),
+			locks:       make(map[uint64]*lockState),
+			deadView:    make(map[int]bool),
+			migrating:   make(map[int]*migState),
+			moved:       make(map[migKey]int),
+			adopted:     make(map[bindKey]*adoptedWindow),
+			onAdopt:     make(map[int]AdoptFunc),
+			onAdoptFrom: make(map[migKey]AdoptFunc),
+			pacer:       make(map[bindKey]simtime.Time),
 		}
 		inst.lease.init(&opts, n, nd.ID)
 		inst.qos.init(inst, opts.QPsPerPair, &dep.qsig)
@@ -670,6 +703,19 @@ func (i *Instance) OS() *hostos.OS { return i.node.OS }
 
 // Instance returns the deployment's instance at the given node.
 func (d *Deployment) Instance(node int) *Instance { return d.Instances[node] }
+
+// NextAppSeq hands out deployment-scoped sequence numbers for
+// applications to build unique identifiers from (store ids, shard
+// names). Scoped to the deployment, not the process: a process-global
+// counter leaks state between simulation runs — identifiers grow one
+// digit wider, every message carrying one grows a byte, and a
+// supposedly seed-identical replay drifts by a few nanoseconds of
+// serialization time per message. The rebalance stress run flushed
+// exactly that out of the kvstore's store-id counter.
+func (d *Deployment) NextAppSeq() uint64 {
+	d.appSeq++
+	return d.appSeq
+}
 
 // wrID returns a fresh work-request id.
 func (i *Instance) wrID() uint64 {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"sort"
 
+	"lite/internal/detrand"
 	"lite/internal/simtime"
 )
 
@@ -33,6 +34,16 @@ type membState struct {
 	miss    map[int]int
 	moves   map[migKey]int
 	handoff map[migKey]int
+	// broadcasting/dirty coalesce concurrent view changes into one
+	// broadcast stream: while a broadcast is in flight, further epoch
+	// bumps mark the view dirty instead of starting their own
+	// 475-message fan-out, and the in-flight broadcaster re-ships the
+	// final view once. Without this a leaf failure (25 near-simultaneous
+	// declarations) cost O(deaths x nodes) correlated control messages —
+	// and the overlapping fan-outs could pair a freshly bumped epoch
+	// with a stale dead list, which receivers then pinned as current.
+	broadcasting bool
+	dirty        bool
 }
 
 func (m *membState) init() {
@@ -93,7 +104,19 @@ func (i *Instance) MembershipEpoch() uint64 { return i.epoch }
 func (d *Deployment) ManagerEpoch() uint64 { return d.memb.epoch }
 
 // proberLoop runs on the manager node, one daemon per probed peer.
+//
+// With ProbeStagger set, each prober's phase is offset by a
+// deterministic hash of its target before the first beat. All probers
+// otherwise share the boot instant as their phase, so every beat is a
+// synchronized n-1 probe burst and a leaf failure makes all of the
+// leaf's probers time out, declare, and broadcast in the same instant —
+// the correlated O(n^2) storm the churn experiment measures. The offset
+// is a pure function of the target id, so the spread replays bit for
+// bit.
 func (i *Instance) proberLoop(p *simtime.Proc, target int) {
+	if i.opts.ProbeStagger && i.opts.HeartbeatInterval > 0 {
+		p.Sleep(simtime.Time(detrand.Mix64(uint64(target)) % uint64(i.opts.HeartbeatInterval)))
+	}
 	for {
 		p.Sleep(i.opts.HeartbeatInterval)
 		if i.stopped {
@@ -127,8 +150,14 @@ func (i *Instance) proberLoop(p *simtime.Proc, target int) {
 }
 
 // declareDead marks the target dead, bumps the epoch, and broadcasts.
+// Declaring an already-dead node is a no-op: concurrent declarations of
+// the same node must collapse to one epoch bump and one broadcast, not
+// one per declarer.
 func (i *Instance) declareDead(p *simtime.Proc, target int) {
 	m := &i.dep.memb
+	if m.dead[target] {
+		return
+	}
 	m.dead[target] = true
 	m.purgeHandoffs(target)
 	m.epoch++
@@ -152,17 +181,43 @@ func (i *Instance) reviveNode(p *simtime.Proc, target int) {
 // instance (applied locally for the manager itself). Sends are bounded
 // by the heartbeat timeout; a node that misses the message converges
 // through anti-entropy on the next probe.
+//
+// Overlapping broadcasts coalesce: if one fan-out is already in
+// flight, the caller marks the view dirty and returns; the in-flight
+// broadcaster re-ships the final view once before it finishes. Each
+// lap snapshots (epoch, dead, moves) together, so a peer never
+// receives a fresh epoch paired with a stale view — the interleaving
+// that previously made receivers pin an outdated dead list as current
+// and drop the corrected broadcast as a replay.
 func (i *Instance) broadcastMembership(p *simtime.Proc) {
 	m := &i.dep.memb
-	dead := m.deadList()
-	moves := m.movesList()
-	i.applyMembership(m.epoch, dead, moves)
-	for _, peer := range i.dep.Instances {
-		pid := peer.node.ID
-		if pid == i.node.ID || m.dead[pid] {
-			continue
+	if m.broadcasting {
+		// Apply locally right away (the manager's own view must fail
+		// pending RPCs to the newly dead promptly); only the remote
+		// fan-out is deferred to the in-flight broadcaster.
+		i.applyMembership(m.epoch, m.deadList(), m.movesList())
+		m.dirty = true
+		return
+	}
+	m.broadcasting = true
+	defer func() { m.broadcasting = false }()
+	for {
+		m.dirty = false
+		epoch := m.epoch
+		dead := m.deadList()
+		moves := m.movesList()
+		i.applyMembership(epoch, dead, moves)
+		for _, peer := range i.dep.Instances {
+			pid := peer.node.ID
+			if pid == i.node.ID || m.dead[pid] {
+				continue
+			}
+			_ = i.ctlMembership(p, pid, epoch, dead, moves)
 		}
-		_ = i.ctlMembership(p, pid, m.epoch, dead, moves)
+		i.obsReg().Add("lite.membership.broadcasts", 1)
+		if !m.dirty {
+			return
+		}
 	}
 }
 
@@ -183,10 +238,14 @@ func (i *Instance) applyMembership(epoch uint64, dead []int, moves []moveRec) {
 		return
 	}
 	i.epoch = epoch
+	oldDead := i.deadView
 	i.deadView = make(map[int]bool, len(dead))
 	for _, n := range dead {
 		i.deadView[n] = true
 	}
+	// Connection-pool reconciliation: revoke spares toward the newly
+	// dead, re-arm the replenisher (jittered) for the newly revived.
+	i.reconcileLeases(oldDead, epoch)
 	// Install the committed-moves view. Entries sourced at this node
 	// are preserved even if the broadcast predates their commit: the
 	// node itself completed the handoff, and forgetting that would let

@@ -69,6 +69,16 @@ type AdoptFunc func(p *simtime.Proc, src int, app []byte) error
 // OnAdopt registers the application adoption hook for fn on this node.
 func (i *Instance) OnAdopt(fn int, h AdoptFunc) { i.onAdopt[fn] = h }
 
+// OnAdoptFrom registers a one-shot adoption hook scoped to transfers of
+// fn arriving from src specifically; it is consumed by the first
+// matching adoption. Applications whose shards all share one function
+// id (kvstore) need this when two sources drain onto the same target
+// concurrently: with only the fn-keyed hook, the second registration
+// overwrites the first and both transfers run the same shard's hook.
+func (i *Instance) OnAdoptFrom(fn, src int, h AdoptFunc) {
+	i.onAdoptFrom[migKey{src, fn}] = h
+}
+
 // migState tracks one in-progress outbound migration at the source.
 type migState struct {
 	fn     int
@@ -455,17 +465,38 @@ func (i *Instance) adoptMigState(p *simtime.Proc, src int, data []byte) error {
 			}
 			continue
 		}
-		w := ar.w
+		w := i.adopted[key]
+		if w == nil {
+			// First parked window for this (client, fn). A second
+			// transfer for the same pair (concurrent drains of two
+			// shards sharing fn) merges below instead of overwriting —
+			// the overwrite dropped the first shard's dedup entries, so
+			// an ambiguous retry against it could re-execute.
+			w = ar.w
+			i.adopted[key] = w
+		} else {
+			w.boots = append(w.boots, ar.w.boots...)
+		}
 		for _, e := range ar.entries {
 			if w.dedup == nil {
 				w.dedup = make(map[uint64]*dedupEntry)
 			}
+			if _, dup := w.dedup[e.seq]; dup {
+				continue
+			}
 			w.dedup[e.seq] = e
 			w.dedupFIFO = append(w.dedupFIFO, e.seq)
 		}
-		i.adopted[key] = w
 	}
-	if h, ok := i.onAdopt[fn]; ok {
+	// Source-scoped hooks win over the per-function hook and are
+	// consumed: each concurrent drain onto this target runs exactly the
+	// hook its DrainShard registered for it.
+	if h, ok := i.onAdoptFrom[migKey{src, fn}]; ok {
+		delete(i.onAdoptFrom, migKey{src, fn})
+		if err := h(p, src, app); err != nil {
+			return err
+		}
+	} else if h, ok := i.onAdopt[fn]; ok {
 		if err := h(p, src, app); err != nil {
 			return err
 		}

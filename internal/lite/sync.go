@@ -159,11 +159,9 @@ func (i *Instance) allocLockInternal(p *simtime.Proc, owner int, pri Priority) (
 	}, nil
 }
 
-var nextLockSeq uint64
-
 func (i *Instance) allocLockLocal() Lock {
-	nextLockSeq++
-	id := uint64(i.node.ID)<<32 | nextLockSeq&0xffffffff
+	i.lockSeq++
+	id := uint64(i.node.ID)<<32 | i.lockSeq&0xffffffff
 	pa := i.scratchAlloc(8)
 	_ = i.node.Mem.Write(pa, make([]byte, 8))
 	i.locks[id] = &lockState{pa: pa}
