@@ -45,6 +45,7 @@ cover:
 	$(call check_cover,./internal/tenant/,$(COVER_FLOOR))
 	$(call check_cover,./internal/simtime/,$(COVER_FLOOR))
 	$(call check_cover,./internal/fabric/,$(COVER_FLOOR))
+	$(call check_cover,./internal/apps/kvstore/,$(COVER_FLOOR))
 	$(call check_cover,./internal/faults/,$(COVER_FLOOR_HARNESS))
 	$(call check_cover,./internal/load/,$(COVER_FLOOR_HARNESS))
 
@@ -62,7 +63,7 @@ bench:
 # gate — and the three 500-node stressors churn/incast/rebalance,
 # which run twice each for their built-in replay check).
 bench-smoke:
-	$(GO) run ./cmd/litebench -metrics -json BENCH_litebench.json trace breakdown tput tail saturate fairness lease drain tenants scale churn incast rebalance
+	$(GO) run ./cmd/litebench -metrics -json BENCH_litebench.json trace breakdown tput tail saturate fairness lease drain tenants scale churn incast rebalance crossover
 
 # bench-guard re-runs the experiments recorded in the committed feed
 # and fails if any virtual-time figure drifted: performance changes

@@ -50,6 +50,13 @@ type response struct {
 	Name    string
 	Len     int64
 	Version uint64
+	// One-sided read-path fields ("get" and "attach" replies only;
+	// omitempty keeps every pre-existing reply byte-identical).
+	Value     []byte `json:",omitempty"`
+	IndexName string `json:",omitempty"`
+	HeapName  string `json:",omitempty"`
+	Gen       uint64 `json:",omitempty"`
+	NBuckets  int64  `json:",omitempty"`
 }
 
 // Store is a deployed key-value store.
@@ -70,6 +77,10 @@ type Store struct {
 	isServer map[int]bool
 	srvs     map[int]*server
 	gen      int
+	// onesided stores additionally publish a client-traversed index
+	// (see onesided.go); off by default so existing deployments are
+	// bit-identical.
+	onesided bool
 }
 
 // Start deploys the store's metadata servers on the given nodes. Each
@@ -78,6 +89,18 @@ type Store struct {
 // died with it — and its serving threads are re-armed automatically.
 func Start(cls *cluster.Cluster, dep *lite.Deployment, servers []int, threads int) (*Store, error) {
 	return StartFn(cls, dep, servers, threads, kvFn)
+}
+
+// StartOneSided is Start for a store that additionally publishes the
+// client-traversed one-sided index: GETs issued through
+// Client.GetDirect resolve with zero server CPU (see onesided.go).
+func StartOneSided(cls *cluster.Cluster, dep *lite.Deployment, servers []int, threads int) (*Store, error) {
+	s, err := StartFn(cls, dep, servers, threads, kvFn)
+	if err != nil {
+		return nil, err
+	}
+	s.onesided = true
+	return s, nil
 }
 
 // StartFn is Start with a caller-chosen RPC function id in
@@ -117,7 +140,7 @@ func (s *Store) spawn(node int) {
 	// LMR names it allocates never collide with names its previous
 	// life left behind in the manager directory.
 	s.gen++
-	srv := &server{store: s, node: node, gen: s.gen, index: make(map[string]*entry)}
+	srv := &server{store: s, node: node, gen: s.gen, index: make(map[string]*entry), idx: &idxState{}}
 	s.srvs[node] = srv
 	s.armThreads(srv)
 }
@@ -166,6 +189,9 @@ type server struct {
 	// allocated in that tenant's namespace (another tenant cannot map
 	// or read them, even knowing the LMR name).
 	tcs map[uint16]*lite.Client
+	// idx is the published one-sided index (LMRs allocated lazily, and
+	// only when the store is one-sided).
+	idx *idxState
 }
 
 // tenantPrefix is the key-namespace prefix a tenant's requests must
@@ -215,15 +241,42 @@ func (srv *server) handle(p *simtime.Proc, c *lite.Client, call *lite.Call) []by
 		switch req.Op {
 		case "put":
 			resp = srv.put(p, srv.allocClient(c, call.Tenant), req.Key, req.Value)
+			// Tenant keys are never published to the kernel-public
+			// one-sided index (see onesided.go).
+			if resp.OK && srv.store.onesided && call.Tenant == 0 {
+				srv.idxPut(p, c, req.Key, req.Value)
+			}
 		case "lookup":
 			if e, ok := srv.index[req.Key]; ok {
 				resp = response{OK: true, Name: e.name, Len: e.size, Version: e.version}
+			}
+		case "get":
+			// RPC-path value fetch: the server reads the value itself and
+			// ships it in the reply — the baseline GetDirect competes with.
+			if e, ok := srv.index[req.Key]; ok {
+				buf := make([]byte, e.size)
+				if c.Read(p, e.lh, 0, buf) == nil {
+					resp = response{OK: true, Len: e.size, Version: e.version, Value: buf[valueHdr:]}
+				}
+			}
+		case "attach":
+			if srv.store.onesided {
+				srv.idx.lock(p)
+				err := srv.idxEnsure(p, c)
+				ix := srv.idx
+				if err == nil {
+					resp = response{OK: true, IndexName: ix.idxName, HeapName: ix.heapName, Gen: ix.seq, NBuckets: ix.nb}
+				}
+				srv.idx.unlock(p)
 			}
 		case "delete":
 			if e, ok := srv.index[req.Key]; ok {
 				delete(srv.index, req.Key)
 				_ = c.Free(p, e.lh)
 				resp.OK = true
+				if srv.store.onesided && call.Tenant == 0 {
+					srv.idxDelete(p, c, req.Key)
+				}
 			}
 		}
 	}
@@ -280,11 +333,19 @@ type Client struct {
 	// might read a value the key no longer routes to.
 	cache      map[string]*cachedHandle
 	cacheEpoch uint64
+	// att caches per-server index attachments for the client-traversed
+	// GetDirect path; like cache it is valid for one membership epoch.
+	att map[int]*attachInfo
 	// Stats.
 	OneSidedGets int64
 	MetaLookups  int64
 	Overloads    int64
 	Resubmits    int64
+	// Client-traversed path stats.
+	DirectGets      int64 // GETs resolved without any server CPU
+	DirectRetries   int64 // torn reads / stale attachments retried
+	DirectFallbacks int64 // GETs that fell back to the RPC path
+	Attaches        int64 // index attach round trips
 }
 
 type cachedHandle struct {
@@ -349,7 +410,13 @@ func (k *Client) serverFor(key string) int {
 // restarted server. A second ambiguous answer is surfaced: something
 // is wrong beyond a single unlucky restart.
 func (k *Client) metaRPC(p *simtime.Proc, dst int, req []byte) ([]byte, error) {
-	out, err := k.c.RPCRetry(p, dst, k.store.fn, req, 512)
+	return k.metaRPCN(p, dst, req, 512)
+}
+
+// metaRPCN is metaRPC with a caller-chosen reply budget (the "get" op
+// ships whole values back, which don't fit the 512-byte metadata cap).
+func (k *Client) metaRPCN(p *simtime.Proc, dst int, req []byte, maxReply int64) ([]byte, error) {
+	out, err := k.c.RPCRetry(p, dst, k.store.fn, req, maxReply)
 	if errors.Is(err, lite.ErrMaybeExecuted) {
 		k.Resubmits++
 		out, err = k.c.RPCRetry(p, dst, k.store.fn, req, 512)
@@ -436,10 +503,7 @@ func (k *Client) ResolveName(p *simtime.Proc, key string) (string, error) {
 // handles fall back to the metadata path.
 func (k *Client) Get(p *simtime.Proc, key string) ([]byte, error) {
 	key = k.prefix + key
-	if e := k.c.MembershipEpoch(); e != k.cacheEpoch {
-		k.cache = make(map[string]*cachedHandle)
-		k.cacheEpoch = e
-	}
+	k.refreshEpoch()
 	for attempt := 0; attempt < 3; attempt++ {
 		ch, ok := k.cache[key]
 		if !ok {

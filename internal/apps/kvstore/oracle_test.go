@@ -1,0 +1,238 @@
+package kvstore
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lite/internal/detrand"
+	"lite/internal/simtime"
+)
+
+// The model-based oracle test: a randomized PUT/DELETE mix runs
+// against one-sided stores while concurrent readers traverse the
+// index, and every result is checked against an in-memory model.
+//
+// Values encode (key, seq). For each GET the oracle accumulates the
+// set of legal outcomes over the GET's window: the value (or absence)
+// committed when the GET started, plus everything issued on that key
+// while the GET was in flight (single mutator, so the set is exact).
+// A result outside the set is a phantom read or a lost update. After
+// the mutator quiesces, a final sweep requires every key to read back
+// exactly its committed state — catching lost updates the windowed
+// check would tolerate.
+//
+// The whole run is repeated per seed and the full event streams must
+// be identical: the protocol is bit-deterministic.
+
+// oracleKey tracks one key's oracle state. seq -1 means absent.
+type oracleKey struct {
+	committed int64  // seq of the committed value, -1 if absent
+	pending   *int64 // in-flight op's outcome, nil if none (single mutator)
+}
+
+// getWatch is one in-flight GET's legal-outcome set.
+type getWatch struct {
+	key     string
+	allowed map[int64]bool
+}
+
+func oracleVal(key string, seq int64, rng uint64) []byte {
+	pad := int(detrand.Mix64(rng^uint64(seq)) % 48)
+	return []byte(fmt.Sprintf("%s#%d#%s", key, seq, strings.Repeat("x", pad)))
+}
+
+func parseOracleVal(v []byte) (key string, seq int64, ok bool) {
+	parts := strings.SplitN(string(v), "#", 3)
+	if len(parts) != 3 {
+		return "", 0, false
+	}
+	n, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return parts[0], n, true
+}
+
+// runOracle executes one seeded run and returns its event stream.
+func runOracle(t *testing.T, seed uint64) []string {
+	t.Helper()
+	cls, dep := testEnv(t, 4)
+	s, err := StartOneSided(cls, dep, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		nKeys = 24
+		nOps  = 300
+	)
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("okey%02d", i)
+	}
+	model := make(map[string]*oracleKey, nKeys)
+	for _, k := range keys {
+		model[k] = &oracleKey{committed: -1}
+	}
+	var (
+		events   []string
+		watches  []*getWatch
+		mutDone  bool
+		nReaders = 2
+		readers  = 0 // readers finished
+	)
+	fail := func(format string, args ...interface{}) {
+		t.Errorf(format, args...)
+	}
+
+	// Mutator: puts and deletes, announcing each issue to in-flight GETs.
+	cls.GoOn(2, "mutator", func(p *simtime.Proc) {
+		rng := detrand.New(seed)
+		k := s.NewClient(2)
+		var seq int64
+		for i := 0; i < nOps; i++ {
+			key := keys[rng.Intn(nKeys)]
+			if rng.Intn(10) < 7 { // PUT
+				seq++
+				out := seq
+				model[key].pending = &out
+				for _, w := range watches {
+					if w.key == key {
+						w.allowed[out] = true
+					}
+				}
+				if err := k.Put(p, key, oracleVal(key, seq, seed)); err != nil {
+					fail("put %q: %v", key, err)
+					return
+				}
+				model[key].committed = out
+				model[key].pending = nil
+				events = append(events, fmt.Sprintf("put %s %d", key, seq))
+			} else { // DELETE
+				out := int64(-1)
+				model[key].pending = &out
+				for _, w := range watches {
+					if w.key == key {
+						w.allowed[-1] = true
+					}
+				}
+				err := k.Delete(p, key)
+				if err != nil && err != ErrNotFound {
+					fail("delete %q: %v", key, err)
+					return
+				}
+				model[key].committed = -1
+				model[key].pending = nil
+				events = append(events, fmt.Sprintf("del %s", key))
+			}
+		}
+		mutDone = true
+	})
+
+	// Readers: concurrent client-traversed GETs (mixed with RPC GETs),
+	// each validated against its windowed legal-outcome set.
+	for r := 0; r < nReaders; r++ {
+		r := r
+		cls.GoOn(3, "reader", func(p *simtime.Proc) {
+			rng := detrand.New(seed ^ uint64(r+1)*0x9e37)
+			k := s.NewClient(3)
+			gets := 0
+			for !mutDone {
+				key := keys[rng.Intn(nKeys)]
+				w := &getWatch{key: key, allowed: map[int64]bool{model[key].committed: true}}
+				if pd := model[key].pending; pd != nil {
+					w.allowed[*pd] = true
+				}
+				watches = append(watches, w)
+				var v []byte
+				var err error
+				if rng.Intn(4) == 0 {
+					v, err = k.GetRPC(p, key)
+				} else {
+					v, err = k.GetDirect(p, key)
+				}
+				// Unregister the watch.
+				for i, x := range watches {
+					if x == w {
+						watches = append(watches[:i], watches[i+1:]...)
+						break
+					}
+				}
+				got := int64(-1)
+				if err == nil {
+					vk, seq, ok := parseOracleVal(v)
+					if !ok || vk != key {
+						fail("reader %d: phantom value %q for key %q", r, v, key)
+						return
+					}
+					got = seq
+				} else if err != ErrNotFound {
+					fail("reader %d: get %q: %v", r, key, err)
+					return
+				}
+				if !w.allowed[got] {
+					fail("reader %d: get %q returned seq %d, legal set %v", r, key, got, w.allowed)
+					return
+				}
+				events = append(events, fmt.Sprintf("get %s %d", key, got))
+				gets++
+				p.Sleep(simtime.Time(10_000 + rng.Intn(40_000)))
+			}
+			readers++
+			if readers < nReaders {
+				return
+			}
+			// Last reader out sweeps: committed state must read back
+			// exactly (this is the lost-update check).
+			for _, key := range keys {
+				v, err := k.GetDirect(p, key)
+				want := model[key].committed
+				got := int64(-1)
+				if err == nil {
+					_, seq, ok := parseOracleVal(v)
+					if !ok {
+						fail("sweep: bad value %q", v)
+						return
+					}
+					got = seq
+				} else if err != ErrNotFound {
+					fail("sweep: get %q: %v", key, err)
+					return
+				}
+				if got != want {
+					fail("sweep: key %q = seq %d, committed %d (lost update or stale read)", key, got, want)
+				}
+				events = append(events, fmt.Sprintf("sweep %s %d", key, got))
+			}
+		})
+	}
+	if err := cls.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func TestOracleRandomizedMix(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		first := runOracle(t, seed)
+		if t.Failed() {
+			t.Fatalf("seed %d: oracle violations above", seed)
+		}
+		if len(first) == 0 {
+			t.Fatalf("seed %d: no events recorded", seed)
+		}
+		// Determinism: an identical run produces the identical stream.
+		second := runOracle(t, seed)
+		if !reflect.DeepEqual(first, second) {
+			for i := range first {
+				if i >= len(second) || first[i] != second[i] {
+					t.Fatalf("seed %d: runs diverge at event %d: %q vs %q", seed, i, first[i], second[i])
+				}
+			}
+			t.Fatalf("seed %d: runs diverge in length: %d vs %d", seed, len(first), len(second))
+		}
+	}
+}

@@ -94,6 +94,16 @@ func (s *Store) shardState(from, to int) func(q *simtime.Proc) ([]byte, error) {
 	return func(q *simtime.Proc) ([]byte, error) {
 		srv := s.srvs[from]
 		c := s.dep.Instance(from).KernelClient()
+		// One-sided stores fence and retire the source's published index
+		// first: in-flight client-traversed readers fail their CAS
+		// validation (the fence goes odd and every slot version is
+		// poisoned) and fall back to the RPC path, which the drain
+		// protocol re-routes to the target. The function is quiesced, so
+		// no local mutator holds the index lock.
+		if s.onesided && srv.idx.inited {
+			s.cls.Announce(q, "kvstore.drain.fence")
+			srv.idxPoison(q, c)
+		}
 		keys := make([]string, 0, len(srv.index))
 		for k := range srv.index {
 			keys = append(keys, k)
@@ -145,7 +155,7 @@ func (s *Store) adoptHook(node int) lite.AdoptFunc {
 				}
 			}
 			s.gen++
-			srv = &server{store: s, node: node, gen: s.gen, index: make(map[string]*entry)}
+			srv = &server{store: s, node: node, gen: s.gen, index: make(map[string]*entry), idx: &idxState{}}
 			s.srvs[node] = srv
 			s.armThreads(srv)
 		}
@@ -192,6 +202,11 @@ func (srv *server) adoptIndex(p *simtime.Proc, app []byte) error {
 			return fmt.Errorf("kvstore: adopt map %q: %w", name, err)
 		}
 		srv.index[key] = &entry{name: name, lh: lh, size: size, version: version}
+	}
+	// One-sided stores republish the adopted shard into this server's
+	// index so client-traversed GETs resume against the new home.
+	if srv.store.onesided {
+		return srv.idxAdopt(p, c)
 	}
 	return nil
 }

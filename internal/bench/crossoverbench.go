@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"lite/internal/apps/kvstore"
+	"lite/internal/detrand"
+	"lite/internal/load"
+	"lite/internal/obs"
+	"lite/internal/simtime"
+)
+
+func init() {
+	register("crossover", "One-sided (client-traversed) vs RPC kvstore GETs: read fan-out sweep and the crossover point", crossoverExp)
+}
+
+// The crossover experiment puts the zero-server-CPU claim on the
+// open-loop harness. A single 2-thread kvstore server holds a hot set
+// of keys; a growing fan-out of client nodes issues Poisson GETs
+// against it, once through the RPC path (one round trip plus server
+// CPU and admission per GET) and once through the one-sided path (the
+// client walks the published bucket index with LT_read and validates
+// with a masked CAS — three NIC round trips, zero server anything).
+//
+// The sweep exposes both sides of the trade. At low fan-out the
+// one-sided path wins the tail: its three NIC round trips are fixed
+// cost, while the RPC p99 eats server-side dequeue jitter. But every
+// one-sided GET also charges the responder NIC's rx pipeline three
+// times (two reads plus the atomic, which reserves AtomicProcess
+// extra), so as fan-out grows the *NIC*, not the server, saturates
+// first — the RPC path sends one inbound message per GET and its
+// 2-thread server still has CPU headroom when the traversal path has
+// collapsed. The note pins both ends: the fan-out range where
+// one-sided holds the better p99, and where RPC takes it back.
+//
+// The run also enforces the admission claim outright: during the
+// measured GET phase of every one-sided sweep, the cluster-wide
+// lite.rpc.served counter (bumped on the
+// responder for every call handed to a server thread) must not move (attachments are warmed before
+// the phase opens). A nonzero delta fails the experiment — and the
+// recorded rows are compared exactly by bench-guard.
+const (
+	crossSeed  = 31
+	crossRate  = 0.15 // per client node, req/us
+	crossReqs  = 150  // per client node
+	crossStart = 4 * time.Millisecond
+)
+
+var (
+	crossFanouts = []int{1, 2, 4, 8, 12}
+	crossHotsets = []int{16, 512}
+)
+
+// crossRes is one (mode, fanout, hotset) cell.
+type crossRes struct {
+	issued, ok int
+	p50, p99   simtime.Time
+	srvRPCs    int64 // lite.rpc.calls delta over the GET phase
+}
+
+func runCrossover(onesided bool, fanout, hotset int) (crossRes, error) {
+	// Node 0 drives, node 1 serves, nodes 2.. read.
+	cls, dep, err := newLITE(fanout + 2)
+	if err != nil {
+		return crossRes{}, err
+	}
+	dom := cls.EnableObs()
+	var s *kvstore.Store
+	if onesided {
+		s, err = kvstore.StartOneSided(cls, dep, []int{1}, 2)
+	} else {
+		s, err = kvstore.Start(cls, dep, []int{1}, 2)
+	}
+	if err != nil {
+		return crossRes{}, err
+	}
+	key := func(k uint64) string { return fmt.Sprintf("hot-%04d", k) }
+
+	// Preload the hot set, then let every client warm its attachment
+	// (one metadata RPC, amortized over the whole phase) before the
+	// schedule opens.
+	loaded := false
+	cls.GoOn(0, "cross-loader", func(p *simtime.Proc) {
+		k := s.NewClient(0)
+		for i := 0; i < hotset; i++ {
+			if err := k.Put(p, key(uint64(i)), []byte(fmt.Sprintf("v-%04d", i))); err != nil {
+				return
+			}
+		}
+		loaded = true
+	})
+
+	var rpc0 int64
+	cls.GoOn(0, "cross-meter", func(p *simtime.Proc) {
+		p.SleepUntil(simtime.Time(crossStart) - 1)
+		rpc0 = dom.Total("lite.rpc.served")
+	})
+
+	type rec struct {
+		lat simtime.Time
+		ok  bool
+	}
+	recs := make([][]rec, fanout)
+	for ci := 0; ci < fanout; ci++ {
+		ci := ci
+		node := 2 + ci
+		sched := load.Poisson(crossSeed+uint64(ci), crossRate, crossReqs, simtime.Time(crossStart))
+		z := detrand.NewZipf(crossSeed+100*uint64(ci), 1.1, uint64(hotset))
+		ops := make([]uint64, len(sched))
+		for i := range ops {
+			ops[i] = z.Next()
+		}
+		cls.GoOn(node, "cross-client", func(p *simtime.Proc) {
+			for !loaded {
+				p.Sleep(50 * time.Microsecond)
+			}
+			k := s.NewClient(node)
+			if onesided {
+				if _, err := k.GetDirect(p, key(0)); err != nil {
+					return
+				}
+			}
+			var wg simtime.WaitGroup
+			wg.Add(len(sched))
+			out := make([]rec, len(sched))
+			for idx, at := range sched {
+				if at > p.Now() {
+					p.SleepUntil(at)
+				}
+				idx := idx
+				cls.GoOn(node, "cross-req", func(q *simtime.Proc) {
+					defer wg.Done(q.Env())
+					t0 := q.Now()
+					var err error
+					if onesided {
+						_, err = k.GetDirect(q, key(ops[idx]))
+					} else {
+						_, err = k.GetRPC(q, key(ops[idx]))
+					}
+					out[idx] = rec{lat: q.Now() - t0, ok: err == nil}
+				})
+			}
+			wg.Wait(p)
+			recs[ci] = out
+		})
+	}
+	if err := cls.Run(); err != nil {
+		return crossRes{}, err
+	}
+	res := crossRes{srvRPCs: dom.Total("lite.rpc.served") - rpc0}
+	h := &obs.Histogram{}
+	for _, rs := range recs {
+		for _, r := range rs {
+			res.issued++
+			if r.ok {
+				res.ok++
+				h.Record(r.lat)
+			}
+		}
+	}
+	res.p50, res.p99 = h.Quantile(0.5), h.Quantile(0.99)
+	if onesided && res.srvRPCs != 0 {
+		return res, fmt.Errorf("crossover: %d server RPCs during a one-sided GET phase (fanout %d, hotset %d), want 0",
+			res.srvRPCs, fanout, hotset)
+	}
+	return res, nil
+}
+
+func crossoverExp() (*Table, error) {
+	t := &Table{
+		ID:     "crossover",
+		Title:  "Kvstore GET: RPC path vs one-sided client traversal, read fan-out x hot-set sweep",
+		Header: []string{"Mode", "Fanout", "Hotset", "Issued", "OK", "p50 (us)", "p99 (us)", "Server RPCs"},
+	}
+	type cell struct{ rpc, one crossRes }
+	cells := make(map[[2]int]*cell)
+	for _, hotset := range crossHotsets {
+		for _, fanout := range crossFanouts {
+			c := &cell{}
+			var err error
+			if c.rpc, err = runCrossover(false, fanout, hotset); err != nil {
+				return nil, err
+			}
+			if c.one, err = runCrossover(true, fanout, hotset); err != nil {
+				return nil, err
+			}
+			cells[[2]int{hotset, fanout}] = c
+			for _, m := range []struct {
+				name string
+				r    crossRes
+			}{{"rpc", c.rpc}, {"one-sided", c.one}} {
+				t.AddRow(m.name, fmt.Sprintf("%d", fanout), fmt.Sprintf("%d", hotset),
+					fmt.Sprintf("%d", m.r.issued), fmt.Sprintf("%d", m.r.ok),
+					us(m.r.p50), us(m.r.p99), fmt.Sprintf("%d", m.r.srvRPCs))
+			}
+		}
+	}
+	for _, hotset := range crossHotsets {
+		lastWin, rpcBack := -1, -1
+		for _, fanout := range crossFanouts {
+			c := cells[[2]int{hotset, fanout}]
+			if c.one.p99 < c.rpc.p99 {
+				lastWin = fanout
+			} else if rpcBack < 0 {
+				rpcBack = fanout
+			}
+		}
+		switch {
+		case lastWin < 0:
+			t.Note("hotset %d: one-sided GETs never beat RPC p99 in this sweep", hotset)
+		case rpcBack < 0:
+			t.Note("hotset %d: one-sided holds the better p99 across the whole sweep", hotset)
+		default:
+			t.Note("hotset %d: one-sided holds the better p99 through fan-out %d; RPC takes it back at %d when the responder NIC's rx pipeline (3 inbound ops per traversal, atomics serialized) saturates before the 2-thread RPC server does", hotset, lastWin, rpcBack)
+		}
+	}
+	t.Note("every one-sided phase ran with the server's lite.rpc.served flat: stable GETs consume zero server CPU and zero admission budget")
+	return t, nil
+}

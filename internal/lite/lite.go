@@ -35,11 +35,15 @@ import (
 
 // Errors returned by LITE operations.
 var (
-	ErrNoSuchName   = errors.New("lite: no LMR registered under that name")
-	ErrNameTaken    = errors.New("lite: name already registered")
-	ErrBadHandle    = errors.New("lite: invalid or revoked lh")
-	ErrPermission   = errors.New("lite: permission denied")
-	ErrBounds       = errors.New("lite: access outside LMR")
+	ErrNoSuchName = errors.New("lite: no LMR registered under that name")
+	ErrNameTaken  = errors.New("lite: name already registered")
+	ErrBadHandle  = errors.New("lite: invalid or revoked lh")
+	ErrPermission = errors.New("lite: permission denied")
+	ErrBounds     = errors.New("lite: access outside LMR")
+	// ErrAlign reports an atomic on a word that is not 8-byte aligned
+	// in physical memory — the NIC's atomic engine contract, enforced
+	// on the local fast path too so both paths behave identically.
+	ErrAlign        = errors.New("lite: atomics require an 8-byte-aligned word")
 	ErrNotMaster    = errors.New("lite: operation requires the master role")
 	ErrFreed        = errors.New("lite: LMR has been freed")
 	ErrTimeout      = errors.New("lite: operation timed out")

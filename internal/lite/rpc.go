@@ -834,6 +834,9 @@ func (i *Instance) recvRPCInternal(p *simtime.Proc, fn int) (*Call, error) {
 	// Stamp the dequeue instant: reply time minus this is the observed
 	// handler service time the fair-admission EWMA learns from.
 	call.recvAt = p.Now()
+	// Count the serve on the responder node: this is the "server CPU
+	// got involved" signal one-sided data paths are measured against.
+	i.obsReg().Add("lite.rpc.served", 1)
 	if !call.local {
 		// Advance the ring header; the new value ships from the
 		// background thread (Figure 9, step f). headDelta is zero for

@@ -49,6 +49,50 @@ func (i *Instance) rawCmpSwap(p *simtime.Proc, node int, pa hostmem.PAddr, cmp, 
 	return i.remoteAtomic(p, node, pa, rnic.WR{Kind: rnic.OpCmpSwap, Compare: cmp, Swap: swap}, pri)
 }
 
+// rawMaskCmpSwap is rawCmpSwap under masks: the compare applies only
+// under cmpMask and the swap replaces only the bits under swapMask
+// (ConnectX extended-atomic semantics). The local fast path computes
+// exactly what the responder NIC would.
+func (i *Instance) rawMaskCmpSwap(p *simtime.Proc, node int, pa hostmem.PAddr, cmp, swap, cmpMask, swapMask uint64, pri Priority) (uint64, error) {
+	if node == i.node.ID {
+		p.Work(localAtomicCost)
+		var b [8]byte
+		if err := i.node.Mem.Read(pa, b[:]); err != nil {
+			return 0, err
+		}
+		old := binary.LittleEndian.Uint64(b[:])
+		if old&cmpMask == cmp&cmpMask {
+			binary.LittleEndian.PutUint64(b[:], old&^swapMask|swap&swapMask)
+			if err := i.node.Mem.Write(pa, b[:]); err != nil {
+				return 0, err
+			}
+		}
+		return old, nil
+	}
+	return i.remoteAtomic(p, node, pa, rnic.WR{
+		Kind: rnic.OpMaskCmpSwap, Compare: cmp, Swap: swap,
+		CompareMask: cmpMask, SwapMask: swapMask,
+	}, pri)
+}
+
+// rawMaskFetchAdd is rawFetchAdd with carries confined by the boundary
+// mask (each set bit ends an independent field; see rnic.MaskedAdd).
+func (i *Instance) rawMaskFetchAdd(p *simtime.Proc, node int, pa hostmem.PAddr, delta, boundary uint64, pri Priority) (uint64, error) {
+	if node == i.node.ID {
+		p.Work(localAtomicCost)
+		var b [8]byte
+		if err := i.node.Mem.Read(pa, b[:]); err != nil {
+			return 0, err
+		}
+		old := binary.LittleEndian.Uint64(b[:])
+		binary.LittleEndian.PutUint64(b[:], rnic.MaskedAdd(old, delta, boundary))
+		return old, i.node.Mem.Write(pa, b[:])
+	}
+	return i.remoteAtomic(p, node, pa, rnic.WR{
+		Kind: rnic.OpMaskFetchAdd, Add: delta, BoundaryMask: boundary,
+	}, pri)
+}
+
 func (i *Instance) remoteAtomic(p *simtime.Proc, node int, pa hostmem.PAddr, wr rnic.WR, pri Priority) (uint64, error) {
 	qp, _, release := i.pickQP(p, node, pri)
 	defer release()
@@ -90,7 +134,11 @@ func (i *Instance) resolveWord(h LH, off int64, need Perm, ten uint16) (int, hos
 		return 0, 0, ErrBounds
 	}
 	pt := parts[0]
-	return pt.c.node, pt.c.pa + hostmem.PAddr(pt.cOff), nil
+	pa := pt.c.pa + hostmem.PAddr(pt.cOff)
+	if pa&7 != 0 {
+		return 0, 0, ErrAlign
+	}
+	return pt.c.node, pa, nil
 }
 
 // fetchAddInternal implements LT_fetch-add on LMR space.
@@ -112,6 +160,40 @@ func (i *Instance) testSetInternal(p *simtime.Proc, h LH, off int64, val uint64,
 		return 0, err
 	}
 	return i.rawCmpSwap(p, node, pa, 0, val, pri)
+}
+
+// casInternal implements LT_cas on LMR space: compare the word at
+// (h, off) with cmp and, if equal, replace it with swap. Returns the
+// previous value; the caller infers success by comparing it to cmp.
+func (i *Instance) casInternal(p *simtime.Proc, h LH, off int64, cmp, swap uint64, pri Priority, ten uint16) (uint64, error) {
+	p.Work(i.cfg.LITECheck)
+	node, pa, err := i.resolveWord(h, off, PermWrite, ten)
+	if err != nil {
+		return 0, err
+	}
+	return i.rawCmpSwap(p, node, pa, cmp, swap, pri)
+}
+
+// casMaskedInternal implements masked LT_cas on LMR space (ConnectX
+// extended atomics: compare under cmpMask, swap bits under swapMask).
+func (i *Instance) casMaskedInternal(p *simtime.Proc, h LH, off int64, cmp, swap, cmpMask, swapMask uint64, pri Priority, ten uint16) (uint64, error) {
+	p.Work(i.cfg.LITECheck)
+	node, pa, err := i.resolveWord(h, off, PermWrite, ten)
+	if err != nil {
+		return 0, err
+	}
+	return i.rawMaskCmpSwap(p, node, pa, cmp, swap, cmpMask, swapMask, pri)
+}
+
+// faaMaskedInternal implements masked LT_faa on LMR space: fetch-add
+// with carries confined to the fields delimited by boundary.
+func (i *Instance) faaMaskedInternal(p *simtime.Proc, h LH, off int64, delta, boundary uint64, pri Priority, ten uint16) (uint64, error) {
+	p.Work(i.cfg.LITECheck)
+	node, pa, err := i.resolveWord(h, off, PermWrite, ten)
+	if err != nil {
+		return 0, err
+	}
+	return i.rawMaskFetchAdd(p, node, pa, delta, boundary, pri)
 }
 
 // ---- distributed locks (§7.2) ----

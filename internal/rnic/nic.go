@@ -84,9 +84,10 @@ type NIC struct {
 	pteCache *lru[pteKey]
 	qpCache  *lru[int]
 
-	nextKey uint32
-	nextQPN int
-	nextCQN int
+	nextKey  uint32
+	nextQPN  int
+	nextCQN  int
+	nextWRID uint64
 
 	// slidingQueues makes subsequently created CQs and QPs consume
 	// entries by re-slicing the front away (q = q[1:]) instead of the
@@ -227,6 +228,14 @@ func (n *NIC) CreateQP(typ QPType, sendCQ, recvCQ *CQ) *QP {
 	n.nextQPN++
 	n.qps[qp.qpn] = qp
 	return qp
+}
+
+// NextWRID returns a fresh work-request id, unique per NIC. Callers
+// that manage their own id space (LITE does) need not use it; it
+// exists for direct verbs users sharing a CQ through a Dispatcher.
+func (n *NIC) NextWRID() uint64 {
+	n.nextWRID++
+	return n.nextWRID
 }
 
 // QPCount returns the number of live QPs on this NIC.

@@ -58,7 +58,7 @@ func (n *NIC) dispatch(at simtime.Time, qp *QP, wr WR) {
 		} else {
 			n.postSendRC(at, qp, wr)
 		}
-	case OpFetchAdd, OpCmpSwap:
+	case OpFetchAdd, OpCmpSwap, OpMaskFetchAdd, OpMaskCmpSwap:
 		n.postAtomic(at, qp, wr)
 	}
 }
@@ -72,9 +72,12 @@ func (n *NIC) validate(qp *QP, wr *WR) error {
 	}
 	switch wr.Kind {
 	case OpWrite, OpWriteImm, OpRead, OpSend:
-	case OpFetchAdd, OpCmpSwap:
+	case OpFetchAdd, OpCmpSwap, OpMaskFetchAdd, OpMaskCmpSwap:
 		if wr.Len != 8 {
 			return ErrAtomicSize
+		}
+		if wr.RemoteOff&7 != 0 {
+			return ErrAtomicAlign
 		}
 	default:
 		return ErrBadQPState
@@ -483,10 +486,64 @@ func (n *NIC) postSendUD(at simtime.Time, qp *QP, wr WR) {
 	})
 }
 
-// postAtomic implements 8-byte masked atomics (fetch-add, cmp-swap)
-// executed at the remote NIC in arrival order.
+// MaskedAdd adds delta to val with carries confined by boundary: each
+// set bit of boundary marks the most significant bit of an independent
+// field, so the addition of one field never carries into the next.
+// This is the ConnectX masked-fetch-add ("extended atomics") rule; a
+// zero boundary degenerates to a plain 64-bit add. Exported so host
+// layers (LITE's local fast path, tests) compute the exact value the
+// responder NIC would.
+func MaskedAdd(val, delta, boundary uint64) uint64 {
+	if boundary == 0 {
+		return val + delta
+	}
+	var out uint64
+	lo := uint(0)
+	for bit := uint(0); bit < 64; bit++ {
+		if boundary&(1<<bit) != 0 || bit == 63 {
+			width := bit - lo + 1
+			fieldMask := ^uint64(0)
+			if width < 64 {
+				fieldMask = (uint64(1)<<width - 1) << lo
+			}
+			sum := (val&fieldMask)>>lo + (delta&fieldMask)>>lo
+			out |= sum << lo & fieldMask
+			lo = bit + 1
+		}
+	}
+	return out
+}
+
+// maskedCASNext returns the word after a masked compare-and-swap of
+// old: if old matches cmp under cmpMask, the bits under swapMask are
+// replaced from swp; otherwise the word is unchanged. Plain CAS is the
+// degenerate case with both masks all-ones.
+func maskedCASNext(old, cmp, swp, cmpMask, swapMask uint64) uint64 {
+	if old&cmpMask != cmp&cmpMask {
+		return old
+	}
+	return old&^swapMask | swp&swapMask
+}
+
+// atomicObs records the per-kind posting counter for an atomic verb.
+func (n *NIC) atomicObs(kind OpKind) {
+	switch kind {
+	case OpFetchAdd:
+		n.obs.Add("rnic.atomic.faa", 1)
+	case OpCmpSwap:
+		n.obs.Add("rnic.atomic.cas", 1)
+	case OpMaskFetchAdd:
+		n.obs.Add("rnic.atomic.masked_faa", 1)
+	case OpMaskCmpSwap:
+		n.obs.Add("rnic.atomic.masked_cas", 1)
+	}
+}
+
+// postAtomic implements 8-byte masked atomics (fetch-add, cmp-swap and
+// their masked variants) executed at the remote NIC in arrival order.
 func (n *NIC) postAtomic(at simtime.Time, qp *QP, wr WR) {
 	cfg := n.cfg()
+	n.atomicObs(wr.Kind)
 	t1 := n.txPipe.Reserve(at, cfg.NICProcess+n.qpCost(qp.qpn)+n.localCost(wr))
 
 	dst := qp.remoteNode
@@ -509,14 +566,19 @@ func (n *NIC) postAtomic(at simtime.Time, qp *QP, wr WR) {
 		n.nack(t3, rn, qp, wr, StatusLengthError)
 		return
 	}
-	// The remote rx pipeline is the atomicity serialization point.
+	// The remote rx pipeline is the atomicity serialization point: two
+	// concurrent atomics to one address reserve it back to back, and
+	// each read-modify-write executes whole at its reserved instant, so
+	// the second always observes the first's result.
 	t4 := rn.rxPipe.Reserve(t3, cfg.NICProcess+rn.qpCost(qp.remoteQPN)+rn.mrAccessCost(rmr, wr.RemoteOff, 8)+cfg.AtomicProcess)
 
 	var old uint64
 	kind := wr.Kind
 	add, cmp, swp := wr.Add, wr.Compare, wr.Swap
+	cmpMask, swapMask, bound := wr.CompareMask, wr.SwapMask, wr.BoundaryMask
 	n.env().At(t4, func(*simtime.Env) {
 		rn.OpsDeliverd++
+		rn.obs.Add("rnic.atomic.executed", 1)
 		var b [8]byte
 		_ = rmr.ReadAt(wr.RemoteOff, b[:])
 		old = binary.LittleEndian.Uint64(b[:])
@@ -525,9 +587,11 @@ func (n *NIC) postAtomic(at simtime.Time, qp *QP, wr WR) {
 		case OpFetchAdd:
 			next = old + add
 		case OpCmpSwap:
-			if old == cmp {
-				next = swp
-			}
+			next = maskedCASNext(old, cmp, swp, ^uint64(0), ^uint64(0))
+		case OpMaskFetchAdd:
+			next = MaskedAdd(old, add, bound)
+		case OpMaskCmpSwap:
+			next = maskedCASNext(old, cmp, swp, cmpMask, swapMask)
 		}
 		binary.LittleEndian.PutUint64(b[:], next)
 		_ = rmr.WriteAt(wr.RemoteOff, b[:])

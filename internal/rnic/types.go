@@ -32,6 +32,12 @@ const (
 	OpRecv
 	OpFetchAdd
 	OpCmpSwap
+	// Masked extended atomics (ConnectX "extended atomic operations"):
+	// a masked compare-and-swap compares and swaps only under caller
+	// masks, and a masked fetch-and-add treats the 64-bit word as
+	// independent fields whose carries do not cross the boundary mask.
+	OpMaskCmpSwap
+	OpMaskFetchAdd
 )
 
 func (k OpKind) String() string {
@@ -50,8 +56,21 @@ func (k OpKind) String() string {
 		return "FETCH_ADD"
 	case OpCmpSwap:
 		return "CMP_SWAP"
+	case OpMaskCmpSwap:
+		return "MASK_CMP_SWAP"
+	case OpMaskFetchAdd:
+		return "MASK_FETCH_ADD"
 	}
 	return "UNKNOWN"
+}
+
+// IsAtomic reports whether the kind is one of the atomic verbs.
+func (k OpKind) IsAtomic() bool {
+	switch k {
+	case OpFetchAdd, OpCmpSwap, OpMaskCmpSwap, OpMaskFetchAdd:
+		return true
+	}
+	return false
 }
 
 // Status is a completion status.
@@ -87,14 +106,15 @@ func (s Status) String() string {
 
 // Errors returned synchronously by posting paths.
 var (
-	ErrBadQPState = errors.New("rnic: QP not connected")
-	ErrBadMR      = errors.New("rnic: unknown or foreign memory region")
-	ErrBounds     = errors.New("rnic: access outside memory region")
-	ErrUDOneSided = errors.New("rnic: one-sided and atomic verbs unsupported on UD")
-	ErrAtomicSize = errors.New("rnic: atomics operate on exactly 8 bytes")
-	ErrInlineSize = errors.New("rnic: inline payload exceeds MaxInline")
-	ErrInlineKind = errors.New("rnic: only writes and sends may be inline")
-	ErrEmptyList  = errors.New("rnic: empty work-request list")
+	ErrBadQPState  = errors.New("rnic: QP not connected")
+	ErrBadMR       = errors.New("rnic: unknown or foreign memory region")
+	ErrBounds      = errors.New("rnic: access outside memory region")
+	ErrUDOneSided  = errors.New("rnic: one-sided and atomic verbs unsupported on UD")
+	ErrAtomicSize  = errors.New("rnic: atomics operate on exactly 8 bytes")
+	ErrAtomicAlign = errors.New("rnic: atomics require an 8-byte-aligned remote address")
+	ErrInlineSize  = errors.New("rnic: inline payload exceeds MaxInline")
+	ErrInlineKind  = errors.New("rnic: only writes and sends may be inline")
+	ErrEmptyList   = errors.New("rnic: empty work-request list")
 )
 
 // Perm is an MR permission bitmask.
@@ -507,10 +527,22 @@ type WR struct {
 	DestNode int
 	DestQPN  int
 
-	// Atomics.
+	// Atomics. The remote address (RemoteOff within the target MR's
+	// physical placement) must be 8-byte aligned and Len must be 8.
 	Add     uint64
 	Compare uint64
 	Swap    uint64
+
+	// Masked-atomic operands (ConnectX extended atomics). For
+	// OpMaskCmpSwap the compare applies only under CompareMask and the
+	// swap replaces only the bits under SwapMask. For OpMaskFetchAdd
+	// each set bit of BoundaryMask marks the most significant bit of an
+	// independent field: carries do not propagate across it, so several
+	// narrow counters can share one 64-bit word. Plain OpCmpSwap and
+	// OpFetchAdd ignore all three.
+	CompareMask  uint64
+	SwapMask     uint64
+	BoundaryMask uint64
 
 	// AtomicResult, if non-nil, receives the 8-byte old value in
 	// addition to it being written to the local buffer.

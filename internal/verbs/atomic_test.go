@@ -1,0 +1,70 @@
+package verbs
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"lite/internal/rnic"
+	"lite/internal/simtime"
+)
+
+// TestAtomicRMWBlockingHelper drives the verbs-level atomic helper
+// end to end: fetch-add, plain CAS, masked CAS, and the synchronous
+// typed errors for misuse.
+func TestAtomicRMWBlockingHelper(t *testing.T) {
+	env, _, a, b := newPair(t)
+	qa, _ := ConnectRC(a, b)
+
+	env.Go("p", func(p *simtime.Proc) {
+		pa, err := b.NIC().Mem().AllocContiguous(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr, err := b.NIC().RegisterPhysMR(b.AddressSpace(), pa, 4096,
+			rnic.PermRead|rnic.PermWrite|rnic.PermAtomic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := NewDispatcher(qa.SendCQ())
+
+		old, err := a.AtomicRMW(p, d, qa, rnic.WR{
+			Kind: rnic.OpFetchAdd, RemoteKey: mr.Key(), Add: 41})
+		if err != nil || old != 0 {
+			t.Fatalf("FAA: old=%d err=%v", old, err)
+		}
+		old, err = a.AtomicRMW(p, d, qa, rnic.WR{
+			Kind: rnic.OpCmpSwap, RemoteKey: mr.Key(), Compare: 41, Swap: 100})
+		if err != nil || old != 41 {
+			t.Fatalf("CAS: old=%d err=%v", old, err)
+		}
+		// Masked no-op CAS (swap mask zero): a pure remote compare.
+		old, err = a.AtomicRMW(p, d, qa, rnic.WR{
+			Kind: rnic.OpMaskCmpSwap, RemoteKey: mr.Key(),
+			Compare: 100, CompareMask: ^uint64(0)})
+		if err != nil || old != 100 {
+			t.Fatalf("masked no-op CAS: old=%d err=%v", old, err)
+		}
+		var got [8]byte
+		if err := mr.ReadAt(0, got[:]); err != nil {
+			t.Fatal(err)
+		}
+		if v := binary.LittleEndian.Uint64(got[:]); v != 100 {
+			t.Errorf("remote word = %d, want 100", v)
+		}
+
+		// Non-atomic kinds are rejected before posting.
+		if _, err := a.AtomicRMW(p, d, qa, rnic.WR{Kind: rnic.OpWrite}); err == nil {
+			t.Error("AtomicRMW accepted OpWrite")
+		}
+		// Misalignment surfaces synchronously as the rnic typed error.
+		_, err = a.AtomicRMW(p, d, qa, rnic.WR{
+			Kind: rnic.OpFetchAdd, RemoteKey: mr.Key(), RemoteOff: 12, Add: 1})
+		if !errors.Is(err, rnic.ErrAtomicAlign) {
+			t.Errorf("misaligned AtomicRMW: err = %v, want ErrAtomicAlign", err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
